@@ -1,0 +1,75 @@
+"""E4 — section III-A claim: "Using parallel addressing and selected data
+transfer, the fingerprint capture speed can be greatly improved."
+
+Sweeps array sizes and readout policies for a fingertip-window capture on
+the same silicon: serial full scan, row-parallel full scan, and the
+paper's row-parallel + selective window transfer.
+"""
+
+from dataclasses import replace
+
+from repro.eval import render_table
+from repro.hardware import (
+    FLOCK_SENSOR,
+    CaptureWindow,
+    ReadoutPolicy,
+    compare_policies,
+)
+from .conftest import emit
+
+ARRAY_SIZES = (128, 192, 256, 384, 512)
+TOUCH_HALF_EXTENT = 80  # cells (a 4 mm contact at 50 um pitch)
+
+
+def test_capture_speedup(benchmark):
+    def sweep():
+        results = {}
+        for size in ARRAY_SIZES:
+            spec = replace(FLOCK_SENSOR, rows=size, cols=size)
+            window = CaptureWindow.around(size // 2, size // 2,
+                                          TOUCH_HALF_EXTENT, size, size)
+            results[size] = {t.policy: t
+                             for t in compare_policies(spec, window)}
+        return results
+
+    results = benchmark(sweep)
+
+    rows = []
+    for size in ARRAY_SIZES:
+        serial = results[size][ReadoutPolicy.FULL_SERIAL]
+        parallel = results[size][ReadoutPolicy.FULL_ROW_PARALLEL]
+        selective = results[size][ReadoutPolicy.WINDOW_SELECTIVE]
+        rows.append([
+            f"{size} x {size}",
+            f"{serial.time_ms:.2f} ms",
+            f"{parallel.time_ms:.2f} ms",
+            f"{selective.time_ms:.2f} ms",
+            f"{serial.time_ms / parallel.time_ms:.1f}x",
+            f"{serial.time_ms / selective.time_ms:.1f}x",
+        ])
+    table = render_table(
+        ["array", "serial full scan", "row-parallel full",
+         "parallel + window", "parallel speedup", "total speedup"],
+        rows,
+        title="E4: fingertip-window capture time by readout policy "
+              "(4 MHz clock, 160-cell window)")
+    emit("E4_capture_speedup", table)
+
+    # Shape assertions.
+    for size in ARRAY_SIZES:
+        serial = results[size][ReadoutPolicy.FULL_SERIAL].time_ms
+        parallel = results[size][ReadoutPolicy.FULL_ROW_PARALLEL].time_ms
+        selective = results[size][ReadoutPolicy.WINDOW_SELECTIVE].time_ms
+        assert selective <= parallel < serial
+        if size > 2 * TOUCH_HALF_EXTENT:
+            # Window strictly smaller than the array: selective transfer
+            # buys a further strict improvement.
+            assert selective < parallel
+    # Speedup grows with array size (bigger array, same touch window).
+    total_speedups = [
+        results[s][ReadoutPolicy.FULL_SERIAL].time_ms
+        / results[s][ReadoutPolicy.WINDOW_SELECTIVE].time_ms
+        for s in ARRAY_SIZES
+    ]
+    assert total_speedups == sorted(total_speedups)
+    assert total_speedups[-1] > 50.0  # "greatly improved" on large arrays

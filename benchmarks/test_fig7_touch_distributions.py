@@ -1,0 +1,65 @@
+"""E3 — Figure 7: distributions of touches from three users.
+
+Regenerates the figure's content as ASCII density maps plus the two
+quantitative observations the paper draws from it: each user's touches
+are strongly peaked (hot-spots exist), and hot-spot regions overlap
+across users (shared placement is possible).
+"""
+
+import numpy as np
+
+from repro.eval import render_density, render_table
+from repro.touchgen import density_map, example_users
+from .conftest import emit
+
+PANEL_W, PANEL_H = 56.0, 94.0
+GRID = dict(grid_rows=24, grid_cols=14)
+
+
+def test_fig7(benchmark, touch_traces):
+    def build_grids():
+        return {
+            user_id: density_map(trace.primary_points(), PANEL_W, PANEL_H,
+                                 **GRID)
+            for user_id, trace in touch_traces.items()
+        }
+
+    grids = benchmark(build_grids)
+
+    sections = []
+    uniform = 1.0 / (GRID["grid_rows"] * GRID["grid_cols"])
+    stats_rows = []
+    for user_id, grid in grids.items():
+        sections.append(render_density(
+            grid, title=f"--- {user_id} touch density ---"))
+        top_share = float(np.sort(grid.ravel())[::-1][:10].sum())
+        stats_rows.append([
+            user_id,
+            f"{grid.max() / uniform:.1f}x uniform",
+            f"{top_share:.0%}",
+        ])
+    stats = render_table(
+        ["user", "peak density", "top-10 cells hold"],
+        stats_rows, title="hot-spot statistics")
+
+    # Pairwise hot-spot overlap (Jaccard over >3x-uniform cells).
+    users = list(grids)
+    tops = {u: grids[u] > 3 * uniform for u in users}
+    overlap_rows = []
+    for i in range(len(users)):
+        for j in range(i + 1, len(users)):
+            a, b = tops[users[i]], tops[users[j]]
+            jaccard = (a & b).sum() / max((a | b).sum(), 1)
+            overlap_rows.append([f"{users[i]} vs {users[j]}",
+                                 f"{jaccard:.0%}"])
+    overlap = render_table(["user pair", "hot-spot overlap (Jaccard)"],
+                           overlap_rows, title="cross-user hot-spot overlap")
+
+    emit("E3_fig7_touch_distributions",
+         "\n\n".join(sections) + "\n\n" + stats + "\n\n" + overlap)
+
+    # Shape assertions: peaked + overlapping, as the paper observes.
+    for grid in grids.values():
+        assert grid.max() > 5 * uniform
+    jaccards = [float(row[1].rstrip("%")) / 100 for row in overlap_rows]
+    assert max(jaccards) > 0.05

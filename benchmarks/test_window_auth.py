@@ -1,0 +1,151 @@
+"""E6 — section IV-A countermeasure 3: k-of-n window authentication.
+
+Sweeps the (k, n) design space.  Touch-outcome streams are produced once
+by the real pipeline (genuine sessions, impostor takeovers, and evasive
+impostors), then replayed through each window configuration — outcomes do
+not depend on (k, n), so the sweep isolates exactly the policy trade-off:
+genuine false-lock rate vs impostor detection latency.
+"""
+
+import numpy as np
+
+from repro.attacks import evasive_tap
+from repro.core import (
+    ContinuousAuthPipeline,
+    IdentityRiskTracker,
+    TouchOutcomeKind,
+)
+from repro.eval import (
+    detection_latency_stats,
+    render_series,
+    render_table,
+    standard_deployment,
+)
+from repro.touchgen import SessionConfig, SessionGenerator, example_users
+from .conftest import emit
+
+CONFIGS = ((1, 4), (1, 8), (2, 8), (2, 12), (3, 12), (4, 16))
+N_GENUINE_SESSIONS = 6
+N_IMPOSTOR_SESSIONS = 6
+SESSION_TOUCHES = 90
+
+
+def _outcome_stream(flock, panel, gestures, master, rng):
+    pipeline = ContinuousAuthPipeline(flock, panel, IdentityRiskTracker())
+    kinds = []
+    for gesture in gestures:
+        event = pipeline.process_gesture(gesture, master, rng)
+        kinds.append(event.outcome_kind)
+    return kinds
+
+
+def _replay(kinds, window, min_verified):
+    """(breached?, index of first breach) for one outcome stream."""
+    tracker = IdentityRiskTracker(window=window, min_verified=min_verified)
+    for index, kind in enumerate(kinds):
+        if tracker.record(kind).breach:
+            return True, index + 1
+    return False, None
+
+
+def test_window_auth(benchmark, rng):
+    world = standard_deployment(seed=42)
+    user = example_users()[0]
+
+    def collect_streams():
+        genuine, impostor, evasive = [], [], []
+        for session in range(N_GENUINE_SESSIONS):
+            trace = SessionGenerator(user).generate(
+                SessionConfig(n_interactions=SESSION_TOUCHES),
+                seed=3000 + session)
+            genuine.append(_outcome_stream(
+                world.device.flock, world.device.panel, trace.gestures,
+                world.user_master, rng))
+        for session in range(N_IMPOSTOR_SESSIONS):
+            trace = SessionGenerator(user).generate(
+                SessionConfig(n_interactions=SESSION_TOUCHES),
+                seed=4000 + session)
+            impostor.append(_outcome_stream(
+                world.device.flock, world.device.panel, trace.gestures,
+                world.impostor_master, rng))
+        for session in range(N_IMPOSTOR_SESSIONS):
+            gestures = [
+                evasive_tap(i * 0.8, 28.0, 80.0,
+                            world.impostor_master.finger_id, rng)
+                for i in range(SESSION_TOUCHES)
+            ]
+            evasive.append(_outcome_stream(
+                world.device.flock, world.device.panel, gestures,
+                world.impostor_master, rng))
+        return genuine, impostor, evasive
+
+    genuine_streams, impostor_streams, evasive_streams = \
+        benchmark.pedantic(collect_streams, rounds=1, iterations=1)
+
+    rows = []
+    stats_by_config = {}
+    for min_verified, window in CONFIGS:
+        false_locks = sum(
+            _replay(kinds, window, min_verified)[0]
+            for kinds in genuine_streams)
+        impostor_latencies = [
+            _replay(kinds, window, min_verified)[1]
+            for kinds in impostor_streams]
+        evasive_latencies = [
+            _replay(kinds, window, min_verified)[1]
+            for kinds in evasive_streams]
+        impostor_stats = detection_latency_stats(impostor_latencies)
+        evasive_stats = detection_latency_stats(evasive_latencies)
+        stats_by_config[(min_verified, window)] = (
+            false_locks, impostor_stats, evasive_stats)
+        rows.append([
+            f"k={min_verified}, n={window}",
+            f"{false_locks}/{N_GENUINE_SESSIONS}",
+            f"{impostor_stats.detection_rate:.0%}",
+            f"{impostor_stats.median:.0f}"
+            if impostor_stats.detected else "-",
+            f"{evasive_stats.detection_rate:.0%}",
+            f"{evasive_stats.median:.0f}"
+            if evasive_stats.detected else "-",
+        ])
+    table = render_table(
+        ["window policy", "genuine false locks",
+         "impostor detect rate", "median touches to lock",
+         "evasive detect rate", "median (evasive)"],
+        rows,
+        title=f"E6: k-of-n window sweep "
+              f"({N_GENUINE_SESSIONS} genuine / {N_IMPOSTOR_SESSIONS} "
+              f"impostor / {N_IMPOSTOR_SESSIONS} evasive sessions of "
+              f"{SESSION_TOUCHES} touches)")
+    # Risk trajectory figure: a genuine stretch, then a takeover, replayed
+    # through the default (k=2, n=8) window.
+    tracker = IdentityRiskTracker(window=8, min_verified=2)
+    takeover_at = 30
+    trajectory = []
+    lock_index = None
+    combined = genuine_streams[0][:takeover_at] + impostor_streams[0]
+    for index, kind in enumerate(combined):
+        assessment = tracker.record(kind)
+        trajectory.append(assessment.risk)
+        if assessment.breach and lock_index is None:
+            lock_index = index
+    chart = render_series(
+        trajectory[:60], y_min=0.0, y_max=1.0,
+        title="\nidentity risk over a session: genuine -> takeover "
+              "(T = takeover, L = lock)",
+        markers={takeover_at: "T",
+                 **({lock_index: "L"} if lock_index is not None
+                    and lock_index < 60 else {})})
+    emit("E6_window_auth", table + "\n" + chart)
+
+    # Shape assertions.
+    # Impostors are always caught under the default-ish configs.
+    for config in ((2, 8), (2, 12)):
+        _, impostor_stats, evasive_stats = stats_by_config[config]
+        assert impostor_stats.detection_rate == 1.0
+        assert evasive_stats.detection_rate == 1.0
+    # Larger n with same k detects later (more slack), never earlier.
+    assert (stats_by_config[(2, 12)][1].median
+            >= stats_by_config[(2, 8)][1].median - 1e-9)
+    # Usability: at least one config has zero genuine false locks.
+    assert any(stats[0] == 0 for stats in stats_by_config.values())

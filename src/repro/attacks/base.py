@@ -1,0 +1,29 @@
+"""Common attack-result reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AttackResult"]
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack scenario.
+
+    ``succeeded`` means the adversary achieved their goal (access granted,
+    request accepted, data altered unnoticed); ``detected`` means the
+    defending system produced an explicit rejection/termination signal.
+    """
+
+    name: str
+    succeeded: bool
+    detected: bool
+    detail: str = ""
+    attempts: int = 1
+    evidence: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        verdict = "SUCCEEDED" if self.succeeded else "blocked"
+        suffix = " (detected)" if self.detected else ""
+        return f"{self.name}: {verdict}{suffix} — {self.detail}"

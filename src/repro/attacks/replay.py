@@ -1,0 +1,65 @@
+"""Replay attacks against the Fig. 10 protocol and the cookie baseline.
+
+An on-path adversary records honest traffic from the untrusted channel and
+re-sends it.  TRUST's one-time nonces make every replayed envelope stale;
+the cookie baseline accepts replays indefinitely.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import CookieWebServer
+from repro.net import ProtocolError, UntrustedChannel, WebServer
+from repro.net.message import Envelope
+from .base import AttackResult
+
+__all__ = ["replay_trust_traffic", "replay_cookie_request"]
+
+
+def replay_trust_traffic(server: WebServer, channel: UntrustedChannel,
+                         msg_type: str = "page-request") -> AttackResult:
+    """Replay every recorded ``msg_type`` envelope against the server."""
+    recorded = channel.recorded(msg_type, direction="to-server")
+    if not recorded:
+        raise ValueError(f"no recorded {msg_type!r} traffic to replay")
+    accepted = 0
+    reasons: dict[str, int] = {}
+    for record in recorded:
+        try:
+            if msg_type == "page-request":
+                server.handle_request(record.envelope.copy())
+            elif msg_type == "login-submit":
+                server.handle_login(record.envelope.copy())
+            else:
+                server.handle_registration(record.envelope.copy())
+            accepted += 1
+        except ProtocolError as exc:
+            reasons[exc.reason] = reasons.get(exc.reason, 0) + 1
+    return AttackResult(
+        name=f"replay-{msg_type}",
+        succeeded=accepted > 0,
+        detected=accepted < len(recorded),
+        attempts=len(recorded),
+        detail=f"{accepted}/{len(recorded)} replays accepted; "
+               f"rejections {reasons}",
+        evidence={"accepted": accepted, "rejections": reasons})
+
+
+def replay_cookie_request(server: CookieWebServer,
+                          stolen_cookie: bytes,
+                          n_replays: int = 5) -> AttackResult:
+    """Replay a stolen bearer cookie against the conventional server."""
+    accepted = 0
+    for _ in range(n_replays):
+        try:
+            server.handle_request(Envelope("cookie-request",
+                                           {"cookie": stolen_cookie}))
+            accepted += 1
+        except ProtocolError:
+            pass
+    return AttackResult(
+        name="replay-cookie",
+        succeeded=accepted > 0,
+        detected=accepted == 0,
+        attempts=n_replays,
+        detail=f"{accepted}/{n_replays} cookie replays accepted",
+        evidence={"accepted": accepted})

@@ -1,0 +1,108 @@
+"""Password authentication baseline (Table I column 1).
+
+Models the three axes Table I compares: continuous verification (none),
+user burden (memorization + typing) and login speed (typing time), plus the
+paper's introduction statistic — "91% of all user passwords belong to a
+list of only 1,000 common passwords" [1] — as a dictionary-attack model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PasswordPolicy", "PasswordAuthModel", "LoginAttempt"]
+
+
+@dataclass(frozen=True)
+class PasswordPolicy:
+    """Site password rules; stricter rules raise burden, not continuity."""
+
+    min_length: int = 8
+    require_mixed_case: bool = False
+    require_digit: bool = False
+    expiry_days: int | None = None  # forced rotation interval
+
+    def burden_score(self) -> float:
+        """Relative cognitive burden of complying (memorization load)."""
+        score = 1.0 + self.min_length / 8.0
+        if self.require_mixed_case:
+            score += 0.5
+        if self.require_digit:
+            score += 0.5
+        if self.expiry_days is not None:
+            score += 365.0 / self.expiry_days
+        return score
+
+
+@dataclass(frozen=True)
+class LoginAttempt:
+    """One password login."""
+
+    success: bool
+    latency_s: float
+    keystrokes: int
+
+
+class PasswordAuthModel:
+    """Statistical model of password usage on a touchscreen keyboard."""
+
+    #: Fraction of users whose password is in the top-1000 list [1].
+    COMMON_PASSWORD_FRACTION = 0.91
+    #: Soft-keyboard typing rate (chars/second) incl. symbol switching.
+    TYPING_RATE_CPS = 2.5
+    #: Probability of a typo forcing a retry on a soft keyboard.
+    TYPO_RATE = 0.08
+
+    def __init__(self, policy: PasswordPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else PasswordPolicy()
+
+    def password_length(self, rng: np.random.Generator) -> int:
+        """Length of the user's chosen password under this policy."""
+        return int(self.policy.min_length + rng.integers(0, 5))
+
+    def login(self, rng: np.random.Generator) -> LoginAttempt:
+        """One genuine login: typing time + possible typo retries."""
+        length = self.password_length(rng)
+        attempts = 1
+        while rng.random() < self.TYPO_RATE:
+            attempts += 1
+        keystrokes = length * attempts
+        latency = keystrokes / self.TYPING_RATE_CPS + 0.8  # focus + submit
+        return LoginAttempt(success=True, latency_s=latency,
+                            keystrokes=keystrokes)
+
+    def dictionary_attack_success(self, guesses: int,
+                                  dictionary_size: int = 1000) -> float:
+        """P(compromise) for an attacker trying the top-``guesses`` list.
+
+        With probability COMMON_PASSWORD_FRACTION the victim's password is
+        uniformly inside the top-``dictionary_size``; outside that list the
+        attack fails.
+        """
+        if guesses < 0:
+            raise ValueError("guesses must be non-negative")
+        covered = min(guesses, dictionary_size) / dictionary_size
+        return self.COMMON_PASSWORD_FRACTION * covered
+
+    # -- Table I axes -------------------------------------------------------
+    @staticmethod
+    def continuous_verification() -> bool:
+        """Table I axis: passwords verify only at login."""
+        return False
+
+    def user_burden(self) -> str:
+        """Table I axis: what the approach costs the user."""
+        return "memorization + typing"
+
+    def mean_login_latency_s(self, rng: np.random.Generator,
+                             trials: int = 200) -> float:
+        """Average measured login latency over simulated attempts."""
+        return float(np.mean([self.login(rng).latency_s
+                              for _ in range(trials)]))
+
+    @staticmethod
+    def transparent_to_user() -> bool:
+        """Table I axis: login requires explicit user action."""
+        return False

@@ -1,0 +1,34 @@
+"""TRUST — the paper's primary contribution.
+
+Continuous, opportunistic, user-transparent identity management built on
+the biometric touch-display: the Fig. 6 pipeline, the identity-risk k-of-n
+window, the section IV-A countermeasures and response ladder, the local
+identity manager, and the remote coordinator that reports live risk to web
+services over the Fig. 10 protocol.
+"""
+
+from .identity_risk import (
+    DecayingRiskTracker,
+    IdentityRiskTracker,
+    RiskAssessment,
+    TouchOutcomeKind,
+)
+from .pipeline import ContinuousAuthPipeline, PipelineEvent, classify_outcome
+from .policy import (
+    CriticalButtonRule,
+    MinTouchTimeRule,
+    ResponseAction,
+    ResponsePolicy,
+)
+from .local import DeviceState, GestureResult, LocalIdentityManager
+from .remote import RemoteSessionReport, TrustCoordinator
+
+__all__ = [
+    "IdentityRiskTracker", "DecayingRiskTracker", "RiskAssessment",
+    "TouchOutcomeKind",
+    "ContinuousAuthPipeline", "PipelineEvent", "classify_outcome",
+    "ResponseAction", "ResponsePolicy", "CriticalButtonRule",
+    "MinTouchTimeRule",
+    "DeviceState", "GestureResult", "LocalIdentityManager",
+    "RemoteSessionReport", "TrustCoordinator",
+]

@@ -1,0 +1,89 @@
+"""The Fig. 6 continuous-authentication pipeline over gesture streams.
+
+Maps each gesture's primary contact through the FLock data path and
+classifies the result into a :class:`TouchOutcomeKind` for the risk
+tracker.  This is the glue between the workload generator (gestures), the
+hardware/biometric substrate (FLock), and TRUST's risk logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fingerprint import MasterFingerprint
+from repro.flock import FlockModule, TouchAuthEvent
+from repro.hardware import TouchPanel
+from repro.touchgen import Gesture
+from .identity_risk import IdentityRiskTracker, RiskAssessment, TouchOutcomeKind
+
+__all__ = ["PipelineEvent", "ContinuousAuthPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineEvent:
+    """One gesture's full journey through Fig. 6."""
+
+    gesture: Gesture
+    outcome_kind: TouchOutcomeKind
+    auth: TouchAuthEvent | None
+    assessment: RiskAssessment
+
+    @property
+    def verified(self) -> bool:
+        """Did this gesture produce a verified fingerprint capture?"""
+        return self.outcome_kind is TouchOutcomeKind.VERIFIED
+
+
+def classify_outcome(auth: TouchAuthEvent) -> TouchOutcomeKind:
+    """Fig. 6 boxes -> outcome kinds."""
+    if not auth.captured:
+        return TouchOutcomeKind.NOT_COVERED
+    assert auth.decision is not None
+    if not auth.decision.quality_ok:
+        return TouchOutcomeKind.LOW_QUALITY
+    if auth.decision.accepted:
+        return TouchOutcomeKind.VERIFIED
+    return TouchOutcomeKind.MATCH_FAILED
+
+
+class ContinuousAuthPipeline:
+    """Feeds gestures through FLock and the risk tracker."""
+
+    def __init__(self, flock: FlockModule, panel: TouchPanel,
+                 tracker: IdentityRiskTracker | None = None) -> None:
+        self.flock = flock
+        self.panel = panel
+        self.tracker = tracker if tracker is not None else IdentityRiskTracker()
+        self.events: list[PipelineEvent] = []
+
+    def process_gesture(self, gesture: Gesture,
+                        master: MasterFingerprint,
+                        rng: np.random.Generator) -> PipelineEvent:
+        """Run one gesture (its initial contact) through the pipeline.
+
+        ``master`` is whoever is physically touching — genuine user or
+        impostor; the pipeline has no idea, which is the point.
+        """
+        located = self.panel.locate(gesture.primary_event)
+        auth = self.flock.handle_touch(located, master, rng)
+        kind = classify_outcome(auth)
+        assessment = self.tracker.record(kind)
+        event = PipelineEvent(gesture=gesture, outcome_kind=kind,
+                              auth=auth, assessment=assessment)
+        self.events.append(event)
+        return event
+
+    @property
+    def current_risk(self) -> float:
+        """The live identity-risk value of the window."""
+        return self.tracker.assess().risk
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Histogram of outcome kinds over all processed gestures."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            key = event.outcome_kind.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts

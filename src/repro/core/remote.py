@@ -1,0 +1,142 @@
+"""Remote identity management: TRUST end-to-end (paper section IV-B).
+
+``TrustCoordinator`` is the piece that makes the two halves one system: it
+drives a user's gesture stream through the local Fig. 6 pipeline *and*
+reports the resulting identity risk to the web server on every request of
+the Fig. 10 protocol.  A hijacker who takes over the phone mid-session
+stops producing verified captures, the reported risk climbs, and the
+server terminates the session — continuous *remote* identity management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fingerprint import MasterFingerprint
+from repro.net import (
+    MobileDevice,
+    ProtocolOutcome,
+    TrustSession,
+    UntrustedChannel,
+    WebServer,
+    answer_challenge,
+    login,
+    session_request,
+)
+from repro.touchgen import Gesture, GestureKind
+from .identity_risk import IdentityRiskTracker
+from .pipeline import ContinuousAuthPipeline
+
+__all__ = ["RemoteSessionReport", "TrustCoordinator"]
+
+
+@dataclass
+class RemoteSessionReport:
+    """What happened over one remote session."""
+
+    login: ProtocolOutcome
+    requests_ok: int = 0
+    requests_failed: int = 0
+    terminated: bool = False
+    termination_reason: str = ""
+    gestures_processed: int = 0
+    risk_series: list[float] = field(default_factory=list)
+    challenges_answered: int = 0
+    challenges_failed: int = 0
+
+    @property
+    def survived(self) -> bool:
+        """Login succeeded and the server never terminated the session."""
+        return self.login.success and not self.terminated
+
+
+class TrustCoordinator:
+    """Binds one device's continuous pipeline to one remote session."""
+
+    def __init__(self, device: MobileDevice, server: WebServer,
+                 channel: UntrustedChannel, account: str,
+                 tracker: IdentityRiskTracker | None = None,
+                 login_button_xy: tuple[float, float] = (28.0, 80.0)) -> None:
+        self.device = device
+        self.server = server
+        self.channel = channel
+        self.account = account
+        self.login_button_xy = login_button_xy
+        self.tracker = tracker if tracker is not None else IdentityRiskTracker()
+        self.pipeline = ContinuousAuthPipeline(device.flock, device.panel,
+                                               self.tracker)
+        self.session: TrustSession | None = None
+
+    def open(self, master: MasterFingerprint, rng: np.random.Generator,
+             time_s: float = 0.0) -> ProtocolOutcome:
+        """Fig. 10 login, reporting the current window risk."""
+        outcome = login(self.device, self.server, self.channel, self.account,
+                        self.login_button_xy, master, rng,
+                        risk=self.tracker.assess().risk, time_s=time_s)
+        self.session = outcome.session
+        return outcome
+
+    def run_session(self, gestures: list[Gesture],
+                    masters: dict[str, MasterFingerprint],
+                    rng: np.random.Generator,
+                    login_master: MasterFingerprint) -> RemoteSessionReport:
+        """Login, then drive a gesture stream with continuous reporting.
+
+        ``masters`` maps each gesture's ``finger_id`` to the physical
+        finger touching — swap entries mid-list to model a hijack.  Tap
+        gestures issue server requests carrying the live risk; swipes and
+        zooms only update the local risk window (and the displayed view).
+        """
+        report = RemoteSessionReport(
+            login=self.open(login_master, rng,
+                            time_s=gestures[0].start_s - 1.0 if gestures else 0.0))
+        if not report.login.success:
+            return report
+
+        for gesture in gestures:
+            master = masters[gesture.primary_event.finger_id]
+            event = self.pipeline.process_gesture(gesture, master, rng)
+            report.gestures_processed += 1
+            risk = event.assessment.risk
+            report.risk_series.append(risk)
+
+            if gesture.changes_view:
+                # Zoom/scroll alters the displayed frame; the repeater
+                # re-hashes it so subsequent requests attest the new view.
+                self.device.flock.display.apply_view_change(
+                    zoom=2.0 if gesture.kind is GestureKind.ZOOM else None,
+                    scroll_px=64 if gesture.kind is GestureKind.SWIPE else None,
+                )
+                continue
+
+            result = session_request(
+                self.device, self.server, self.channel, self.session,
+                risk=risk, rng=rng)
+            if result.success:
+                report.requests_ok += 1
+                continue
+            if result.reason == "challenge-required":
+                # The server demands a fresh verified touch; whoever is
+                # holding the phone answers with *their* finger.
+                challenge_result = answer_challenge(
+                    self.device, self.server, self.channel, self.session,
+                    self.login_button_xy, master, rng,
+                    time_s=gesture.end_s + 0.5)
+                if challenge_result.success:
+                    report.challenges_answered += 1
+                    # A verified touch just happened; record it so the
+                    # risk window reflects the re-authentication.
+                    from .identity_risk import TouchOutcomeKind
+                    self.tracker.record(TouchOutcomeKind.VERIFIED)
+                else:
+                    report.challenges_failed += 1
+                    report.requests_failed += 1
+                continue
+            report.requests_failed += 1
+            if result.reason == "risk-too-high":
+                report.terminated = True
+                report.termination_reason = result.reason
+                break
+        return report

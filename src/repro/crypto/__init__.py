@@ -1,0 +1,35 @@
+"""From-scratch cryptographic substrate for the TRUST protocols.
+
+Everything the FLock crypto processor, web servers and CA need: SHA-256 and
+MD5 hashing, HMAC/HKDF, an HMAC-DRBG, RSA key generation / signatures /
+encryption, the ChaCha20 session cipher, and CA-signed certificates.  All
+primitives are pure Python and verified against published test vectors in
+``tests/crypto``.
+"""
+
+from .sha256 import SHA256, sha256, sha256_hex
+from .md5 import MD5, md5, md5_hex
+from .mac import HMAC, hmac_sha256, hmac_md5, hkdf_sha256, constant_time_equal
+from .rng import HmacDrbg
+from .primes import is_probable_prime, generate_prime
+from .rsa import (
+    RsaPublicKey,
+    RsaPrivateKey,
+    generate_keypair,
+    SignatureError,
+    DecryptionError,
+)
+from .chacha20 import chacha20_block, chacha20_xor, SessionCipher, AuthenticationError
+from .cert import Certificate, CertificateError, CertificateAuthority
+
+__all__ = [
+    "SHA256", "sha256", "sha256_hex",
+    "MD5", "md5", "md5_hex",
+    "HMAC", "hmac_sha256", "hmac_md5", "hkdf_sha256", "constant_time_equal",
+    "HmacDrbg",
+    "is_probable_prime", "generate_prime",
+    "RsaPublicKey", "RsaPrivateKey", "generate_keypair",
+    "SignatureError", "DecryptionError",
+    "chacha20_block", "chacha20_xor", "SessionCipher", "AuthenticationError",
+    "Certificate", "CertificateError", "CertificateAuthority",
+]

@@ -1,0 +1,100 @@
+"""HMAC (RFC 2104) and HKDF (RFC 5869) built on the in-repo hash functions.
+
+The TRUST protocols (Figs. 9-10) authenticate every message with a MAC keyed
+either by an asymmetric signature (registration) or by the per-login session
+key (continuous authentication).  This module provides the symmetric-keyed
+building block plus a key-derivation function used to expand session keys
+into separate encryption and MAC keys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from .sha256 import SHA256
+from .md5 import MD5
+
+__all__ = ["HMAC", "hmac_sha256", "hmac_md5", "hkdf_sha256", "constant_time_equal"]
+
+
+class HMAC:
+    """Keyed-hash message authentication code over a configurable hash."""
+
+    def __init__(self, key: bytes, message: bytes = b"", hash_cls: Type = SHA256) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("HMAC key must be bytes")
+        self._hash_cls = hash_cls
+        block_size = hash_cls.block_size
+        key = bytes(key)
+        if len(key) > block_size:
+            key = hash_cls(key).digest()
+        key = key.ljust(block_size, b"\x00")
+        self._outer_key = bytes(b ^ 0x5C for b in key)
+        self._inner = hash_cls(bytes(b ^ 0x36 for b in key))
+        if message:
+            self._inner.update(message)
+
+    @property
+    def digest_size(self) -> int:
+        """Digest size of the underlying hash, in bytes."""
+        return self._hash_cls.digest_size
+
+    def update(self, data: bytes) -> "HMAC":
+        """Absorb more message bytes."""
+        self._inner.update(data)
+        return self
+
+    def digest(self) -> bytes:
+        """The authentication tag over everything absorbed so far."""
+        return self._hash_cls(self._outer_key + self._inner.digest()).digest()
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()
+
+    def verify(self, tag: bytes) -> bool:
+        """Constant-time comparison of ``tag`` against the computed digest."""
+        return constant_time_equal(self.digest(), tag)
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """One-shot HMAC-SHA256 tag."""
+    return HMAC(key, message, SHA256).digest()
+
+
+def hmac_md5(key: bytes, message: bytes) -> bytes:
+    """One-shot HMAC-MD5 tag (used only for the frame-hash cost comparison)."""
+    return HMAC(key, message, MD5).digest()
+
+
+def hkdf_sha256(ikm: bytes, length: int, salt: bytes = b"", info: bytes = b"") -> bytes:
+    """HKDF-Extract-then-Expand with SHA-256.
+
+    Used to derive independent encryption / MAC subkeys from the session key
+    negotiated during the Fig. 10 login step.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if length > 255 * 32:
+        raise ValueError("HKDF-SHA256 output limited to 8160 bytes")
+    prk = hmac_sha256(salt if salt else b"\x00" * 32, ikm)
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe byte-string equality."""
+    if not isinstance(a, (bytes, bytearray)) or not isinstance(b, (bytes, bytearray)):
+        raise TypeError("constant_time_equal expects bytes")
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

@@ -1,0 +1,108 @@
+"""Pure-Python MD5 (RFC 1321).
+
+The paper's display repeater suggests "MD5 or SHA256" for frame hashing; we
+provide both so the frame-hash engine can be configured either way, and so the
+cost difference is measurable in the E9 benchmark.  MD5 is used here strictly
+as a non-adversarial integrity checksum, mirroring the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["MD5", "md5", "md5_hex"]
+
+_S = (
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+)
+
+_K = tuple(int(abs(__import__("math").sin(i + 1)) * 2**32) & 0xFFFFFFFF for i in range(64))
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(x: int, n: int) -> int:
+    return ((x << n) | (x >> (32 - n))) & _MASK
+
+
+class MD5:
+    """Incremental MD5 with the familiar ``update``/``digest`` API."""
+
+    digest_size = 16
+    block_size = 64
+    name = "md5"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476]
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "MD5":
+        """Absorb more message bytes."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"expected bytes-like, got {type(data).__name__}")
+        data = bytes(data)
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= 64:
+            self._compress(self._buffer[:64])
+            self._buffer = self._buffer[64:]
+        return self
+
+    def _compress(self, block: bytes) -> None:
+        m = struct.unpack("<16I", block)
+        a, b, c, d = self._state
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | (~b & d)
+                g = i
+            elif i < 32:
+                f = (d & b) | (~d & c)
+                g = (5 * i + 1) % 16
+            elif i < 48:
+                f = b ^ c ^ d
+                g = (3 * i + 5) % 16
+            else:
+                f = c ^ (b | (~d & _MASK))
+                g = (7 * i) % 16
+            f = (f + a + _K[i] + m[g]) & _MASK
+            a, d, c, b = d, c, b, (b + _rotl(f, _S[i])) & _MASK
+        self._state = [
+            (x + y) & _MASK for x, y in zip(self._state, (a, b, c, d))
+        ]
+
+    def copy(self) -> "MD5":
+        """Independent clone of the running hash state."""
+        clone = MD5()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def digest(self) -> bytes:
+        """Digest of everything absorbed so far (state preserved)."""
+        clone = self.copy()
+        bit_length = (clone._length * 8) & 0xFFFFFFFFFFFFFFFF
+        pad_len = (55 - clone._length) % 64
+        clone.update(b"\x80" + b"\x00" * pad_len + struct.pack("<Q", bit_length))
+        assert not clone._buffer
+        return struct.pack("<4I", *clone._state)
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()
+
+
+def md5(data: bytes) -> bytes:
+    """One-shot MD5 digest of ``data``."""
+    return MD5(data).digest()
+
+
+def md5_hex(data: bytes) -> str:
+    """One-shot MD5 hex digest of ``data``."""
+    return MD5(data).hexdigest()

@@ -1,0 +1,87 @@
+"""Prime generation for RSA key pairs: Miller-Rabin over DRBG output.
+
+FLock generates a fresh (public, private) key pair per web-service binding
+(Fig. 9 step 2), so prime generation is on the protocol's critical path and
+is benchmarked as part of E8.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .rng import HmacDrbg
+
+__all__ = ["is_probable_prime", "generate_prime"]
+
+# Small primes used for fast trial division before Miller-Rabin.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+    233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313,
+)
+
+
+def is_probable_prime(n: int, rng: HmacDrbg, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with ``rounds`` pseudo-random witnesses.
+
+    Witness bases are drawn from a fast non-cryptographic PRNG seeded once
+    from the caller's DRBG: the *soundness* of Miller-Rabin needs witnesses
+    an adversary cannot predict relative to ``n``, not full cryptographic
+    randomness, and drawing 40 DRBG integers per candidate would dominate
+    key-generation time (the DRBG runs on pure-Python SHA-256).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    # Write n - 1 as d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    witness_rng = random.Random(int.from_bytes(rng.generate(8), "big"))
+    for _ in range(rounds):
+        a = witness_rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: HmacDrbg) -> int:
+    """Generate a random probable prime with exactly ``bits`` bits.
+
+    The top two bits are forced to 1 so the product of two such primes has
+    exactly ``2 * bits`` bits, and the bottom bit is forced so candidates are
+    odd.
+    """
+    if bits < 16:
+        raise ValueError("prime size below 16 bits is not useful")
+    n_bytes = (bits + 7) // 8
+    shift = n_bytes * 8 - bits
+    # Draw candidates in batches: one DRBG request yields many candidates,
+    # keeping the (pure-Python) DRBG off the key-generation critical path.
+    batch = max(min(32, HmacDrbg.MAX_REQUEST // n_bytes), 1)
+    while True:
+        block = rng.generate(batch * n_bytes)
+        for i in range(batch):
+            candidate = int.from_bytes(
+                block[i * n_bytes:(i + 1) * n_bytes], "big") >> shift
+            candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+            # 16 rounds: error < 4^-16 per candidate, and far lower still
+            # for uniformly random candidates (Damgard-Landrock-Pomerance).
+            if is_probable_prime(candidate, rng, rounds=16):
+                return candidate

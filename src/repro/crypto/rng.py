@@ -1,0 +1,84 @@
+"""Deterministic random bit generation: HMAC-DRBG (NIST SP 800-90A).
+
+Every stochastic component of the simulation is seedable so experiments are
+bit-for-bit reproducible.  The crypto processor inside FLock draws key
+material from an HMAC-DRBG instance seeded per module, standing in for the
+hardware TRNG the paper's ASIC would carry.
+"""
+
+from __future__ import annotations
+
+from .mac import hmac_sha256
+
+__all__ = ["HmacDrbg"]
+
+
+class HmacDrbg:
+    """HMAC-SHA256 deterministic random bit generator.
+
+    Implements instantiate / reseed / generate from SP 800-90A, minus the
+    prediction-resistance machinery which is irrelevant in simulation.
+    """
+
+    #: SP 800-90A limit on a single generate call (bytes).
+    MAX_REQUEST = 1 << 16
+
+    def __init__(self, seed: bytes, personalization: bytes = b"") -> None:
+        if not isinstance(seed, (bytes, bytearray)) or len(seed) == 0:
+            raise ValueError("seed must be non-empty bytes")
+        self._key = b"\x00" * 32
+        self._value = b"\x01" * 32
+        self._reseed_counter = 1
+        self._update(bytes(seed) + personalization)
+
+    def _update(self, provided: bytes = b"") -> None:
+        self._key = hmac_sha256(self._key, self._value + b"\x00" + provided)
+        self._value = hmac_sha256(self._key, self._value)
+        if provided:
+            self._key = hmac_sha256(self._key, self._value + b"\x01" + provided)
+            self._value = hmac_sha256(self._key, self._value)
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix fresh entropy into the generator state."""
+        if not entropy:
+            raise ValueError("entropy must be non-empty")
+        self._update(entropy)
+        self._reseed_counter = 1
+
+    def generate(self, n_bytes: int) -> bytes:
+        """Return ``n_bytes`` of pseudo-random output."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes > self.MAX_REQUEST:
+            raise ValueError(f"single request limited to {self.MAX_REQUEST} bytes")
+        output = b""
+        while len(output) < n_bytes:
+            self._value = hmac_sha256(self._key, self._value)
+            output += self._value
+        self._update()
+        self._reseed_counter += 1
+        return output[:n_bytes]
+
+    def random_int(self, n_bits: int) -> int:
+        """Uniform random integer in [0, 2**n_bits)."""
+        if n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        n_bytes = (n_bits + 7) // 8
+        value = int.from_bytes(self.generate(n_bytes), "big")
+        return value >> (n_bytes * 8 - n_bits)
+
+    def random_below(self, bound: int) -> int:
+        """Uniform random integer in [0, bound) via rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        n_bits = bound.bit_length()
+        while True:
+            candidate = self.random_int(n_bits)
+            if candidate < bound:
+                return candidate
+
+    def random_range(self, low: int, high: int) -> int:
+        """Uniform random integer in [low, high)."""
+        if high <= low:
+            raise ValueError("empty range")
+        return low + self.random_below(high - low)

@@ -1,0 +1,204 @@
+"""RSA key generation, signatures and encryption (PKCS#1-style).
+
+FLock's crypto processor holds one built-in device key pair and generates a
+fresh key pair per web-service account (Fig. 9).  Web servers and the CA each
+hold their own pair.  We implement:
+
+- key generation with two Miller-Rabin primes and e = 65537,
+- RSASSA signatures: EMSA-PKCS1-v1_5 padding over a SHA-256 digest,
+- RSAES encryption: PKCS#1 v1.5 type-2 random padding (randomness drawn from
+  the caller's DRBG so runs are reproducible).
+
+Key sizes default to 1024 bits — small by modern standards, but this repo's
+adversaries attack the *protocol*, not the number theory, and small keys keep
+the end-to-end benchmarks fast.  2048-bit keys work and are exercised in the
+tests' slow markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mac import constant_time_equal
+from .primes import generate_prime
+from .rng import HmacDrbg
+from .sha256 import sha256
+
+__all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_keypair", "SignatureError", "DecryptionError"]
+
+# DER prefix for a SHA-256 DigestInfo (RFC 8017 section 9.2 note 1).
+_SHA256_DIGEST_INFO = bytes.fromhex("3031300d060960864801650304020105000420")
+
+
+class SignatureError(Exception):
+    """Raised when a signature fails verification."""
+
+
+class DecryptionError(Exception):
+    """Raised when an RSA ciphertext cannot be decrypted/unpadded."""
+
+
+def _egcd(a: int, b: int) -> tuple[int, int, int]:
+    if a == 0:
+        return b, 0, 1
+    g, x, y = _egcd(b % a, a)
+    return g, y - (b // a) * x, x
+
+
+def _modinv(a: int, m: int) -> int:
+    g, x, _ = _egcd(a % m, m)
+    if g != 1:
+        raise ValueError("modular inverse does not exist")
+    return x % m
+
+
+def _i2osp(x: int, length: int) -> bytes:
+    return x.to_bytes(length, "big")
+
+
+def _os2ip(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key (n, e); the part FLock discloses to web servers."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify an EMSA-PKCS1-v1_5 SHA-256 signature. Returns bool."""
+        if len(signature) != self.byte_length:
+            return False
+        s = _os2ip(signature)
+        if s >= self.n:
+            return False
+        em = _i2osp(pow(s, self.e, self.n), self.byte_length)
+        expected = _emsa_pkcs1_v15(message, self.byte_length)
+        return constant_time_equal(em, expected)
+
+    def encrypt(self, plaintext: bytes, rng: HmacDrbg) -> bytes:
+        """RSAES-PKCS1-v1_5 encryption with non-zero random padding."""
+        k = self.byte_length
+        if len(plaintext) > k - 11:
+            raise ValueError(f"plaintext too long for {k * 8}-bit modulus")
+        padding = bytearray()
+        while len(padding) < k - len(plaintext) - 3:
+            byte = rng.generate(1)
+            if byte != b"\x00":
+                padding += byte
+        em = b"\x00\x02" + bytes(padding) + b"\x00" + plaintext
+        return _i2osp(pow(_os2ip(em), self.e, self.n), k)
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 digest identifying this key (used in certificates)."""
+        return sha256(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        """Length-prefixed wire serialization of (n, e)."""
+        n_bytes = _i2osp(self.n, self.byte_length)
+        e_bytes = _i2osp(self.e, (self.e.bit_length() + 7) // 8)
+        return (
+            len(n_bytes).to_bytes(4, "big") + n_bytes
+            + len(e_bytes).to_bytes(4, "big") + e_bytes
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RsaPublicKey":
+        """Parse a public key from its wire serialization."""
+        n_len = int.from_bytes(data[:4], "big")
+        n = _os2ip(data[4:4 + n_len])
+        offset = 4 + n_len
+        e_len = int.from_bytes(data[offset:offset + 4], "big")
+        e = _os2ip(data[offset + 4:offset + 4 + e_len])
+        return cls(n=n, e=e)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key with CRT parameters for fast exponentiation."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The public half of this key pair."""
+        return RsaPublicKey(n=self.n, e=self.e)
+
+    def _private_op(self, c: int) -> int:
+        # CRT: roughly 4x faster than a straight pow(c, d, n).
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        q_inv = _modinv(self.q, self.p)
+        m1 = pow(c % self.p, dp, self.p)
+        m2 = pow(c % self.q, dq, self.q)
+        h = (q_inv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce an EMSA-PKCS1-v1_5 SHA-256 signature over ``message``."""
+        em = _emsa_pkcs1_v15(message, self.byte_length)
+        return _i2osp(self._private_op(_os2ip(em)), self.byte_length)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Invert RSAES-PKCS1-v1_5; raises DecryptionError on bad padding."""
+        k = self.byte_length
+        if len(ciphertext) != k:
+            raise DecryptionError("ciphertext length mismatch")
+        c = _os2ip(ciphertext)
+        if c >= self.n:
+            raise DecryptionError("ciphertext out of range")
+        em = _i2osp(self._private_op(c), k)
+        if em[0] != 0x00 or em[1] != 0x02:
+            raise DecryptionError("bad padding header")
+        try:
+            separator = em.index(b"\x00", 2)
+        except ValueError:
+            raise DecryptionError("missing padding separator") from None
+        if separator < 10:  # at least 8 bytes of non-zero padding
+            raise DecryptionError("padding too short")
+        return em[separator + 1:]
+
+
+def _emsa_pkcs1_v15(message: bytes, em_len: int) -> bytes:
+    t = _SHA256_DIGEST_INFO + sha256(message)
+    if em_len < len(t) + 11:
+        raise ValueError("modulus too small for SHA-256 signature")
+    return b"\x00\x01" + b"\xff" * (em_len - len(t) - 3) + b"\x00" + t
+
+
+def generate_keypair(rng: HmacDrbg, bits: int = 1024, e: int = 65537) -> RsaPrivateKey:
+    """Generate an RSA key pair with modulus of exactly ``bits`` bits."""
+    if bits < 512:
+        raise ValueError("modulus below 512 bits cannot carry a SHA-256 signature")
+    if bits % 2 != 0:
+        raise ValueError("bits must be even")
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        d = _modinv(e, phi)
+        return RsaPrivateKey(n=n, e=e, d=d, p=p, q=q)

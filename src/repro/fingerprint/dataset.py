@@ -1,0 +1,168 @@
+"""FVC-style synthetic fingerprint datasets.
+
+FVC (Fingerprint Verification Competition) datasets are organized as
+``n_fingers`` subjects x ``n_impressions`` captures each; evaluation runs
+all genuine pairs (same finger, different impressions) and a sampling of
+impostor pairs (different fingers).  Since the offline environment has no
+FVC data, this module synthesizes datasets with the same structure from
+master fingerprints, with capture conditions drawn from a configurable
+difficulty profile (full presses for enrollment-grade sets, small rotated
+noisy patches for the in-display partial-capture sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .impression import CaptureCondition, Impression, render_impression
+from .synthesis import MasterFingerprint, synthesize_master
+
+__all__ = ["DifficultyProfile", "FingerprintDataset", "build_dataset"]
+
+
+@dataclass(frozen=True)
+class DifficultyProfile:
+    """Distribution of capture conditions for one dataset."""
+
+    name: str
+    radius: tuple[float, float] | None = None  # contact radius range; None = full
+    rotation_deg: tuple[float, float] = (-15.0, 15.0)
+    translation_px: float = 8.0
+    distortion: tuple[float, float] = (0.0, 1.5)
+    pressure: tuple[float, float] = (0.35, 0.65)
+    motion_px: tuple[float, float] = (0.0, 0.5)
+    noise: tuple[float, float] = (0.02, 0.08)
+    dropout: tuple[float, float] = (0.0, 0.05)
+
+    @staticmethod
+    def enrollment_grade() -> "DifficultyProfile":
+        """Clean, centred, full-contact presses (explicit enrollment)."""
+        return DifficultyProfile(
+            name="enrollment",
+            radius=None,
+            rotation_deg=(-5.0, 5.0),
+            translation_px=3.0,
+            distortion=(0.0, 0.5),
+            pressure=(0.45, 0.55),
+            motion_px=(0.0, 0.0),
+            noise=(0.01, 0.04),
+            dropout=(0.0, 0.01),
+        )
+
+    @staticmethod
+    def touch_grade(sensor_radius_px: float = 80.0) -> "DifficultyProfile":
+        """Opportunistic in-display captures: partial, rotated, noisy.
+
+        The default contact radius matches the hardware path: a 4 mm
+        fingertip contact at 50 um cell pitch is an 80-cell patch (see
+        ``repro.flock.fingerprint_controller.CONTACT_RADIUS_MM``).
+        """
+        return DifficultyProfile(
+            name="touch",
+            radius=(sensor_radius_px * 0.85, sensor_radius_px),
+            rotation_deg=(-25.0, 25.0),
+            translation_px=15.0,
+            distortion=(0.0, 2.0),
+            pressure=(0.25, 0.75),
+            motion_px=(0.0, 1.0),
+            noise=(0.03, 0.08),
+            dropout=(0.0, 0.03),
+        )
+
+    def sample_condition(self, rng: np.random.Generator,
+                         master_shape: tuple[int, int]) -> CaptureCondition:
+        """Draw one capture condition from the profile."""
+        radius = None
+        center = None
+        if self.radius is not None:
+            radius = float(rng.uniform(*self.radius))
+            # Touch lands anywhere that keeps most of the patch on-finger.
+            margin = radius * 0.8
+            center = (
+                float(rng.uniform(margin, master_shape[0] - margin)),
+                float(rng.uniform(margin, master_shape[1] - margin)),
+            )
+        return CaptureCondition(
+            center=center,
+            radius=radius,
+            rotation_deg=float(rng.uniform(*self.rotation_deg)),
+            translation=(
+                float(rng.uniform(-self.translation_px, self.translation_px)),
+                float(rng.uniform(-self.translation_px, self.translation_px)),
+            ),
+            distortion=float(rng.uniform(*self.distortion)),
+            pressure=float(rng.uniform(*self.pressure)),
+            motion_px=float(rng.uniform(*self.motion_px)),
+            noise=float(rng.uniform(*self.noise)),
+            dropout=float(rng.uniform(*self.dropout)),
+        )
+
+
+@dataclass
+class FingerprintDataset:
+    """``n_fingers`` masters with ``n_impressions`` rendered captures each."""
+
+    name: str
+    masters: list[MasterFingerprint]
+    impressions: dict[str, list[Impression]] = field(default_factory=dict)
+
+    @property
+    def finger_ids(self) -> list[str]:
+        """Identifiers of all fingers in the dataset."""
+        return [m.finger_id for m in self.masters]
+
+    def master_of(self, finger_id: str) -> MasterFingerprint:
+        """The master fingerprint for a finger id; KeyError if unknown."""
+        for master in self.masters:
+            if master.finger_id == finger_id:
+                return master
+        raise KeyError(f"unknown finger {finger_id!r}")
+
+    def genuine_pairs(self) -> list[tuple[Impression, Impression]]:
+        """All within-finger impression pairs (FVC genuine protocol)."""
+        pairs = []
+        for captures in self.impressions.values():
+            for i in range(len(captures)):
+                for j in range(i + 1, len(captures)):
+                    pairs.append((captures[i], captures[j]))
+        return pairs
+
+    def impostor_pairs(self, rng: np.random.Generator,
+                       n_pairs: int | None = None) -> list[tuple[Impression, Impression]]:
+        """Cross-finger pairs; all first-impression pairs, or a random sample."""
+        ids = self.finger_ids
+        all_pairs = [
+            (self.impressions[ids[i]][0], self.impressions[ids[j]][0])
+            for i in range(len(ids))
+            for j in range(i + 1, len(ids))
+        ]
+        if n_pairs is None or n_pairs >= len(all_pairs):
+            return all_pairs
+        chosen = rng.choice(len(all_pairs), size=n_pairs, replace=False)
+        return [all_pairs[int(k)] for k in chosen]
+
+
+def build_dataset(name: str, n_fingers: int, n_impressions: int,
+                  profile: DifficultyProfile, seed: int,
+                  master_shape: tuple[int, int] = (192, 192),
+                  output_shape: tuple[int, int] | None = None) -> FingerprintDataset:
+    """Synthesize a full dataset deterministically from ``seed``."""
+    if n_fingers < 1 or n_impressions < 1:
+        raise ValueError("need at least one finger and one impression")
+    rng = np.random.default_rng(seed)
+    masters = [
+        synthesize_master(f"{name}-f{i:03d}", rng, shape=master_shape)
+        for i in range(n_fingers)
+    ]
+    dataset = FingerprintDataset(name=name, masters=masters)
+    for master in masters:
+        captures = []
+        for _ in range(n_impressions):
+            condition = profile.sample_condition(rng, master.shape)
+            captures.append(
+                render_impression(master, condition, rng, output_shape=output_shape)
+            )
+        dataset.impressions[master.finger_id] = captures
+    return dataset

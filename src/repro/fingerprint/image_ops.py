@@ -1,0 +1,93 @@
+"""Basic fingerprint image operations: normalization, segmentation, blocks.
+
+All fingerprint images in this package are ``float64`` numpy arrays in
+[0, 1], where 1.0 is a ridge (dark on paper) and 0.0 is a valley, with shape
+(rows, cols).  Masks are boolean arrays of the same shape, True on the
+foreground (finger area).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "normalize",
+    "segment_foreground",
+    "block_view_stats",
+    "local_contrast",
+    "binarize",
+]
+
+
+def normalize(image: np.ndarray, target_mean: float = 0.5,
+              target_std: float = 0.25) -> np.ndarray:
+    """Affine-normalize an image to a target mean/std, clipped to [0, 1].
+
+    Classic Hong-Wan-Jain pre-normalization; makes downstream thresholds
+    independent of capture contrast (pressure, sensor gain).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    std = image.std()
+    if std < 1e-12:
+        return np.full_like(image, target_mean)
+    normalized = (image - image.mean()) / std * target_std + target_mean
+    return np.clip(normalized, 0.0, 1.0)
+
+
+def segment_foreground(image: np.ndarray, block: int = 12,
+                       variance_threshold: float = 1e-3) -> np.ndarray:
+    """Foreground mask: blocks with local variance above a threshold.
+
+    Fingerprint regions have strong ridge/valley oscillation (high local
+    variance); background and smudges are flat.  The mask is cleaned with a
+    binary closing + largest-component selection so stray blocks don't
+    produce phantom minutiae at mask borders.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    mean = ndimage.uniform_filter(image, size=block)
+    mean_sq = ndimage.uniform_filter(image * image, size=block)
+    variance = np.maximum(mean_sq - mean * mean, 0.0)
+    mask = variance > variance_threshold
+    if not mask.any():
+        return mask
+    mask = ndimage.binary_closing(mask, structure=np.ones((3, 3)), iterations=2)
+    mask = ndimage.binary_opening(mask, structure=np.ones((3, 3)))
+    labels, count = ndimage.label(mask)
+    if count > 1:
+        sizes = ndimage.sum_labels(mask, labels, index=range(1, count + 1))
+        mask = labels == (int(np.argmax(sizes)) + 1)
+    return ndimage.binary_fill_holes(mask)
+
+
+def block_view_stats(image: np.ndarray, block: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-block (mean, variance) arrays of shape (rows//block, cols//block)."""
+    rows, cols = image.shape
+    br, bc = rows // block, cols // block
+    trimmed = image[: br * block, : bc * block]
+    blocks = trimmed.reshape(br, block, bc, block)
+    return blocks.mean(axis=(1, 3)), blocks.var(axis=(1, 3))
+
+
+def local_contrast(image: np.ndarray, block: int = 12) -> np.ndarray:
+    """Per-pixel local standard deviation (sliding window)."""
+    image = np.asarray(image, dtype=np.float64)
+    mean = ndimage.uniform_filter(image, size=block)
+    mean_sq = ndimage.uniform_filter(image * image, size=block)
+    return np.sqrt(np.maximum(mean_sq - mean * mean, 0.0))
+
+
+def binarize(image: np.ndarray, mask: np.ndarray | None = None,
+             block: int = 12) -> np.ndarray:
+    """Adaptive (local-mean) binarization: True where ridges are.
+
+    A pixel is ridge if it is darker than its local neighbourhood mean; this
+    tracks slow illumination/pressure gradients better than a global
+    threshold.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    local_mean = ndimage.uniform_filter(image, size=block)
+    ridges = image > local_mean
+    if mask is not None:
+        ridges &= mask
+    return ridges

@@ -1,0 +1,153 @@
+"""Impression rendering: what a sensor actually sees of a master fingerprint.
+
+The paper's TFT in-display sensors capture *partial* prints at the touch
+point, degraded by motion, pressure and contact angle (the Fig. 6 quality
+gate exists precisely because of this).  This module renders captures from a
+master fingerprint under a parameterized capture condition:
+
+- rigid displacement + rotation of the finger on the sensor,
+- elastic skin distortion (smooth random displacement field),
+- pressure (ridge thickening/thinning),
+- motion blur (finger moving during the scan),
+- additive sensor noise and dropout (dry skin / dirt),
+- a circular contact region (partial capture) of given radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from .synthesis import MasterFingerprint
+
+__all__ = ["CaptureCondition", "Impression", "render_impression"]
+
+
+@dataclass(frozen=True)
+class CaptureCondition:
+    """Physical parameters of one finger-sensor contact."""
+
+    center: tuple[float, float] | None = None  # (row, col) on master; None = centred
+    radius: float | None = None  # contact radius in px; None = full print
+    rotation_deg: float = 0.0
+    translation: tuple[float, float] = (0.0, 0.0)  # extra rigid (row, col) shift
+    distortion: float = 0.0  # elastic displacement amplitude in px
+    pressure: float = 0.5  # 0 = feather-light (thin ridges), 1 = hard press
+    motion_px: float = 0.0  # motion-blur extent during the scan
+    noise: float = 0.05  # additive Gaussian sensor noise (std)
+    dropout: float = 0.0  # fraction of pixels lost to dry skin / dirt
+
+    def validate(self) -> None:
+        """Range-check all condition parameters; raises ValueError."""
+        if not 0.0 <= self.pressure <= 1.0:
+            raise ValueError("pressure must be in [0, 1]")
+        if not 0.0 <= self.dropout <= 1.0:
+            raise ValueError("dropout must be in [0, 1]")
+        if self.noise < 0.0 or self.motion_px < 0.0 or self.distortion < 0.0:
+            raise ValueError("noise, motion and distortion must be non-negative")
+        if self.radius is not None and self.radius <= 0.0:
+            raise ValueError("radius must be positive when given")
+
+
+@dataclass
+class Impression:
+    """One rendered capture: image + foreground mask + provenance."""
+
+    finger_id: str
+    image: np.ndarray
+    mask: np.ndarray
+    condition: CaptureCondition
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the frame covered by finger contact."""
+        return float(self.mask.mean())
+
+
+def _elastic_displacement(shape: tuple[int, int], amplitude: float,
+                          rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Smooth random (d_row, d_col) displacement fields."""
+    sigma = min(shape) / 6.0
+    fields = []
+    for _ in range(2):
+        noise = rng.standard_normal(shape)
+        noise = ndimage.gaussian_filter(noise, sigma=sigma)
+        peak = np.abs(noise).max()
+        fields.append(amplitude * noise / peak if peak > 1e-12 else noise * 0.0)
+    return fields[0], fields[1]
+
+
+def render_impression(master: MasterFingerprint, condition: CaptureCondition,
+                      rng: np.random.Generator,
+                      output_shape: tuple[int, int] | None = None) -> Impression:
+    """Render one capture of ``master`` under ``condition``.
+
+    The output frame is the sensor's own pixel array (defaults to the master
+    shape); the finger region under ``center``/``radius`` is mapped into it.
+    """
+    condition.validate()
+    rows, cols = master.shape if output_shape is None else output_shape
+    center = condition.center
+    if center is None:
+        center = (master.shape[0] / 2.0, master.shape[1] / 2.0)
+
+    # Build sampling coordinates: output pixel -> master pixel.
+    out_r, out_c = np.meshgrid(np.arange(rows, dtype=np.float64),
+                               np.arange(cols, dtype=np.float64), indexing="ij")
+    rel_r = out_r - rows / 2.0
+    rel_c = out_c - cols / 2.0
+    theta = np.deg2rad(condition.rotation_deg)
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    src_r = center[0] + condition.translation[0] + rel_r * cos_t - rel_c * sin_t
+    src_c = center[1] + condition.translation[1] + rel_r * sin_t + rel_c * cos_t
+
+    if condition.distortion > 0.0:
+        d_r, d_c = _elastic_displacement((rows, cols), condition.distortion, rng)
+        src_r = src_r + d_r
+        src_c = src_c + d_c
+
+    image = ndimage.map_coordinates(master.image, [src_r, src_c], order=1,
+                                    mode="constant", cval=0.5)
+
+    # Contact mask: circular patch (partial print) or everything that landed
+    # inside the master area (full print).
+    inside_master = (
+        (src_r >= 0) & (src_r <= master.shape[0] - 1)
+        & (src_c >= 0) & (src_c <= master.shape[1] - 1)
+    )
+    if condition.radius is not None:
+        contact = rel_r**2 + rel_c**2 <= condition.radius**2
+    else:
+        contact = np.ones((rows, cols), dtype=bool)
+    mask = inside_master & contact
+
+    # Pressure: shift the ridge/valley duty cycle.  Hard presses flatten
+    # ridges outward (thicker), light touches record only ridge crests.
+    pressure_bias = (condition.pressure - 0.5) * 0.5
+    image = np.clip(image + pressure_bias * (image - 0.5) * 2.0, 0.0, 1.0)
+
+    if condition.motion_px > 0.0:
+        # Anisotropic blur along a random motion direction.
+        angle = rng.uniform(0.0, np.pi)
+        length = max(int(round(condition.motion_px)), 1)
+        kernel = np.zeros((2 * length + 1, 2 * length + 1))
+        for step in np.linspace(-length, length, 2 * length + 1):
+            kr = int(round(length + step * np.sin(angle)))
+            kc = int(round(length + step * np.cos(angle)))
+            kernel[kr, kc] = 1.0
+        kernel /= kernel.sum()
+        image = ndimage.convolve(image, kernel, mode="nearest")
+
+    if condition.noise > 0.0:
+        image = image + rng.normal(0.0, condition.noise, size=image.shape)
+
+    if condition.dropout > 0.0:
+        lost = rng.random(image.shape) < condition.dropout
+        image = np.where(lost, 0.5, image)
+
+    image = np.clip(image, 0.0, 1.0)
+    image = np.where(mask, image, 0.5)
+    return Impression(finger_id=master.finger_id, image=image, mask=mask,
+                      condition=condition)

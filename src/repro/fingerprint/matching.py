@@ -1,0 +1,216 @@
+"""Minutiae matching: alignment hypotheses + greedy one-to-one pairing.
+
+The matcher follows the classical two-stage design:
+
+1. *Correspondence proposal.*  Each minutia gets a rotation/translation
+   invariant local descriptor (polar layout of its nearest neighbours).
+   Descriptor distances between the template and the probe propose a small
+   set of likely minutia correspondences.
+2. *Alignment + scoring.*  Each proposed correspondence induces a rigid
+   transform (rotate-then-translate) mapping the probe onto the template.
+   Under each transform, probe and template minutiae are paired greedily
+   within distance/angle tolerances.  The candidate score is
+   ``matched^2 / (n_overlap * n_probe)`` where ``n_overlap`` is the number
+   of template minutiae inside the transformed probe's footprint — i.e. the
+   probe is only held accountable for the template region it actually
+   touched.  The match score is the best over all hypotheses, in [0, 1].
+
+The overlap normalization is what makes partial captures work: a 48-px
+touch patch seen by an in-display TFT sensor covers ~15 % of the enrolled
+finger, and normalizing by the full template size would cap its score at
+that fraction regardless of how well it matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .minutiae import Minutia
+
+__all__ = ["MatchResult", "MinutiaeMatcher", "minutiae_to_arrays"]
+
+
+def minutiae_to_arrays(minutiae: list[Minutia]) -> tuple[np.ndarray, np.ndarray]:
+    """Split minutiae into an (n, 2) position array and an (n,) angle array."""
+    if not minutiae:
+        return np.zeros((0, 2)), np.zeros((0,))
+    positions = np.array([[m.row, m.col] for m in minutiae], dtype=np.float64)
+    angles = np.array([m.direction for m in minutiae], dtype=np.float64)
+    return positions, angles
+
+
+def _angle_difference(a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+    """Smallest absolute difference between angles (2*pi periodic)."""
+    diff = np.mod(np.asarray(a) - np.asarray(b) + np.pi, 2.0 * np.pi) - np.pi
+    return np.abs(diff)
+
+
+def _local_descriptors(positions: np.ndarray, angles: np.ndarray,
+                       k_neighbors: int) -> np.ndarray:
+    """Rotation-invariant local structure descriptors, shape (n, 3k).
+
+    For each minutia, the k nearest neighbours contribute (distance,
+    bearing relative to the minutia direction, neighbour direction relative
+    to the minutia direction), sorted by distance.
+    """
+    n = len(positions)
+    descriptors = np.zeros((n, 3 * k_neighbors), dtype=np.float64)
+    if n < 2:
+        return descriptors
+    deltas = positions[None, :, :] - positions[:, None, :]  # (n, n, 2)
+    distances = np.hypot(deltas[..., 0], deltas[..., 1])
+    np.fill_diagonal(distances, np.inf)
+    for i in range(n):
+        order = np.argsort(distances[i])[:k_neighbors]
+        for slot, j in enumerate(order):
+            if not np.isfinite(distances[i, j]):
+                break
+            bearing = np.arctan2(deltas[i, j, 0], deltas[i, j, 1])
+            descriptors[i, 3 * slot] = distances[i, j]
+            descriptors[i, 3 * slot + 1] = np.mod(bearing - angles[i], 2 * np.pi)
+            descriptors[i, 3 * slot + 2] = np.mod(angles[j] - angles[i], 2 * np.pi)
+    return descriptors
+
+
+def _descriptor_cost(desc_a: np.ndarray, desc_b: np.ndarray,
+                     k_neighbors: int) -> np.ndarray:
+    """Pairwise descriptor dissimilarity matrix, shape (nA, nB)."""
+    nA, nB = len(desc_a), len(desc_b)
+    cost = np.zeros((nA, nB))
+    for slot in range(k_neighbors):
+        d_a = desc_a[:, 3 * slot][:, None]
+        d_b = desc_b[:, 3 * slot][None, :]
+        cost += np.abs(d_a - d_b) / 10.0
+        for offset in (1, 2):
+            angle_a = desc_a[:, 3 * slot + offset][:, None]
+            angle_b = desc_b[:, 3 * slot + offset][None, :]
+            cost += _angle_difference(angle_a, angle_b)
+    return cost
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of one template-vs-probe comparison."""
+
+    score: float  # in [0, 1]
+    matched_pairs: int
+    n_template: int
+    n_probe: int
+    rotation: float  # radians of the winning alignment
+    translation: tuple[float, float]  # anchor displacement (row, col)
+    #: Rotate-about-origin offset: probe -> template is
+    #: ``R(rotation) @ p + offset``.  What downstream consumers (texture
+    #: fusion) need to re-apply the winning alignment to other features.
+    offset: tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when either side had no minutiae to compare."""
+        return self.n_template == 0 or self.n_probe == 0
+
+
+class MinutiaeMatcher:
+    """Configurable minutiae matcher; thread-safe (stateless per call)."""
+
+    def __init__(self, distance_tolerance: float = 7.0,
+                 angle_tolerance: float = 0.3,
+                 k_neighbors: int = 4,
+                 max_hypotheses: int = 64) -> None:
+        if distance_tolerance <= 0 or angle_tolerance <= 0:
+            raise ValueError("tolerances must be positive")
+        if max_hypotheses < 1:
+            raise ValueError("need at least one alignment hypothesis")
+        self.distance_tolerance = float(distance_tolerance)
+        self.angle_tolerance = float(angle_tolerance)
+        self.k_neighbors = int(k_neighbors)
+        self.max_hypotheses = int(max_hypotheses)
+
+    def match(self, template: list[Minutia], probe: list[Minutia]) -> MatchResult:
+        """Score ``probe`` against ``template``."""
+        pos_t, ang_t = minutiae_to_arrays(template)
+        pos_p, ang_p = minutiae_to_arrays(probe)
+        n_t, n_p = len(pos_t), len(pos_p)
+        if n_t == 0 or n_p == 0:
+            return MatchResult(0.0, 0, n_t, n_p, 0.0, (0.0, 0.0))
+
+        desc_t = _local_descriptors(pos_t, ang_t, self.k_neighbors)
+        desc_p = _local_descriptors(pos_p, ang_p, self.k_neighbors)
+        cost = _descriptor_cost(desc_t, desc_p, self.k_neighbors)
+
+        flat_order = np.argsort(cost, axis=None)[: self.max_hypotheses]
+        hypothesis_pairs = [np.unravel_index(i, cost.shape) for i in flat_order]
+
+        best = MatchResult(0.0, 0, n_t, n_p, 0.0, (0.0, 0.0))
+        for t_index, p_index in hypothesis_pairs:
+            rotation = float(np.mod(ang_t[t_index] - ang_p[p_index], 2 * np.pi))
+            cos_r, sin_r = np.cos(rotation), np.sin(rotation)
+            # Rotate probe positions about the anchor probe minutia, then
+            # translate the anchor onto the template minutia.
+            rel = pos_p - pos_p[p_index]
+            rotated = np.empty_like(rel)
+            rotated[:, 0] = rel[:, 1] * sin_r + rel[:, 0] * cos_r
+            rotated[:, 1] = rel[:, 1] * cos_r - rel[:, 0] * sin_r
+            transformed = rotated + pos_t[t_index]
+            transformed_angles = np.mod(ang_p + rotation, 2 * np.pi)
+
+            matched = self._count_matches(pos_t, ang_t, transformed,
+                                          transformed_angles)
+            score = self._overlap_score(pos_t, transformed, matched, n_p)
+            if score > best.score:
+                translation = (
+                    float(pos_t[t_index][0] - pos_p[p_index][0]),
+                    float(pos_t[t_index][1] - pos_p[p_index][1]),
+                )
+                anchor = pos_p[p_index]
+                rotated_anchor = (
+                    anchor[1] * sin_r + anchor[0] * cos_r,
+                    anchor[1] * cos_r - anchor[0] * sin_r,
+                )
+                offset = (
+                    float(pos_t[t_index][0] - rotated_anchor[0]),
+                    float(pos_t[t_index][1] - rotated_anchor[1]),
+                )
+                best = MatchResult(score, matched, n_t, n_p, rotation,
+                                   translation, offset)
+        return best
+
+    def _overlap_score(self, pos_t: np.ndarray, transformed_probe: np.ndarray,
+                       matched: int, n_probe: int) -> float:
+        """Overlap-normalized score: matched^2 / (n_overlap * n_probe)."""
+        if matched == 0:
+            return 0.0
+        centroid = transformed_probe.mean(axis=0)
+        deltas = transformed_probe - centroid
+        footprint = np.hypot(deltas[:, 0], deltas[:, 1]).max() \
+            + self.distance_tolerance
+        t_deltas = pos_t - centroid
+        n_overlap = int((np.hypot(t_deltas[:, 0], t_deltas[:, 1]) <= footprint).sum())
+        denominator = max(n_overlap, n_probe, 1) * n_probe
+        return float(min(matched * matched / denominator, 1.0))
+
+    def _count_matches(self, pos_t: np.ndarray, ang_t: np.ndarray,
+                       pos_p: np.ndarray, ang_p: np.ndarray) -> int:
+        """Greedy one-to-one pairing within tolerance, closest first."""
+        deltas = pos_t[:, None, :] - pos_p[None, :, :]
+        distances = np.hypot(deltas[..., 0], deltas[..., 1])
+        angle_ok = _angle_difference(ang_t[:, None], ang_p[None, :]) \
+            <= self.angle_tolerance
+        eligible = (distances <= self.distance_tolerance) & angle_ok
+        if not eligible.any():
+            return 0
+        candidate_costs = np.where(eligible, distances, np.inf)
+        matched = 0
+        used_t = np.zeros(len(pos_t), dtype=bool)
+        used_p = np.zeros(len(pos_p), dtype=bool)
+        order = np.argsort(candidate_costs, axis=None)
+        for flat in order:
+            if not np.isfinite(candidate_costs.flat[flat]):
+                break
+            i, j = np.unravel_index(flat, candidate_costs.shape)
+            if used_t[i] or used_p[j]:
+                continue
+            used_t[i] = used_p[j] = True
+            matched += 1
+        return matched

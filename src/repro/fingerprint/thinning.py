@@ -1,0 +1,70 @@
+"""Zhang-Suen skeletonization of binarized ridge maps.
+
+Minutiae extraction needs one-pixel-wide ridges; Zhang-Suen iteratively peels
+boundary pixels while preserving connectivity and line ends.  The inner loop
+is vectorized with numpy shifts, so thinning a 192x192 ridge map takes
+milliseconds rather than seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zhang_suen_thin"]
+
+
+def _neighbors(img: np.ndarray) -> tuple[np.ndarray, ...]:
+    """The 8 neighbours P2..P9 (clockwise from north) with zero padding."""
+    padded = np.pad(img, 1, mode="constant")
+    p2 = padded[:-2, 1:-1]   # N
+    p3 = padded[:-2, 2:]     # NE
+    p4 = padded[1:-1, 2:]    # E
+    p5 = padded[2:, 2:]      # SE
+    p6 = padded[2:, 1:-1]    # S
+    p7 = padded[2:, :-2]     # SW
+    p8 = padded[1:-1, :-2]   # W
+    p9 = padded[:-2, :-2]    # NW
+    return p2, p3, p4, p5, p6, p7, p8, p9
+
+
+def zhang_suen_thin(binary: np.ndarray, max_iterations: int = 200) -> np.ndarray:
+    """Thin a boolean ridge map to a one-pixel skeleton.
+
+    Raises ValueError if the input is not boolean.  Terminates when an
+    iteration removes no pixels (always within ``max_iterations`` for any
+    finite image).
+    """
+    if binary.dtype != bool:
+        raise ValueError("zhang_suen_thin expects a boolean array")
+    img = binary.astype(np.uint8)
+
+    for _ in range(max_iterations):
+        changed = False
+        for phase in (0, 1):
+            p = _neighbors(img)
+            neighbor_count = sum(x.astype(np.int32) for x in p)
+            # Transitions 0->1 in the circular sequence P2..P9,P2.
+            sequence = list(p) + [p[0]]
+            transitions = sum(
+                ((sequence[i] == 0) & (sequence[i + 1] == 1)).astype(np.int32)
+                for i in range(8)
+            )
+            p2, p3, p4, p5, p6, p7, p8, p9 = p
+            if phase == 0:
+                cond_a = (p2 * p4 * p6) == 0
+                cond_b = (p4 * p6 * p8) == 0
+            else:
+                cond_a = (p2 * p4 * p8) == 0
+                cond_b = (p2 * p6 * p8) == 0
+            removable = (
+                (img == 1)
+                & (neighbor_count >= 2) & (neighbor_count <= 6)
+                & (transitions == 1)
+                & cond_a & cond_b
+            )
+            if removable.any():
+                img[removable] = 0
+                changed = True
+        if not changed:
+            break
+    return img.astype(bool)

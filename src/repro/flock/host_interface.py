@@ -1,0 +1,136 @@
+"""The FLock host interface (Fig. 5: "Host Interface").
+
+The SoC talks to FLock over a narrow command channel.  This module makes
+that boundary *explicit and auditable*: every host request is a named
+command with validated arguments, checked against a whitelist, logged, and
+dispatched to the corresponding :class:`~repro.flock.module.FlockModule`
+method.  Commands that would expose secrets simply do not exist in the
+command table — the type-level guarantee the security analysis rests on.
+
+The honest browser uses `FlockModule` methods directly (same semantics);
+the host interface exists so tests and experiments can drive the boundary
+the way malware would — by issuing raw commands — and verify that nothing
+secret ever crosses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .module import FlockError, FlockModule
+
+__all__ = ["HostCommandError", "HostCommandRecord", "HostInterface"]
+
+
+class HostCommandError(Exception):
+    """Raised for unknown commands or invalid arguments."""
+
+
+@dataclass(frozen=True)
+class HostCommandRecord:
+    """One logged host-interface transaction."""
+
+    index: int
+    command: str
+    ok: bool
+    error: str = ""
+
+
+@dataclass
+class HostInterface:
+    """Command dispatcher at the FLock trusted boundary."""
+
+    flock: FlockModule
+    log: list[HostCommandRecord] = field(default_factory=list)
+
+    #: Host-invocable commands and their handler names.  Anything absent —
+    #: reading templates, private keys, session keys, raw captures — is
+    #: not expressible over this interface.
+    COMMANDS = {
+        "get-public-key": "_cmd_get_public_key",
+        "get-certificate": "_cmd_get_certificate",
+        "get-service-view": "_cmd_get_service_view",
+        "list-domains": "_cmd_list_domains",
+        "sign-as-device": "_cmd_sign_as_device",
+        "sign-for-service": "_cmd_sign_for_service",
+        "session-mac": "_cmd_session_mac",
+        "verify-session-mac": "_cmd_verify_session_mac",
+        "open-session": "_cmd_open_session",
+        "close-session": "_cmd_close_session",
+        "current-frame-hash": "_cmd_current_frame_hash",
+        "attest-challenge": "_cmd_attest_challenge",
+    }
+
+    def call(self, command: str, **kwargs) -> Any:
+        """Issue one host command; logs the transaction either way."""
+        handler_name = self.COMMANDS.get(command)
+        index = len(self.log)
+        if handler_name is None:
+            self.log.append(HostCommandRecord(index, command, ok=False,
+                                              error="unknown-command"))
+            raise HostCommandError(f"unknown command {command!r}")
+        handler: Callable = getattr(self, handler_name)
+        try:
+            result = handler(**kwargs)
+        except TypeError as exc:
+            self.log.append(HostCommandRecord(index, command, ok=False,
+                                              error="bad-arguments"))
+            raise HostCommandError(f"bad arguments for {command!r}: {exc}") \
+                from exc
+        except FlockError as exc:
+            self.log.append(HostCommandRecord(index, command, ok=False,
+                                              error=str(exc)))
+            raise
+        self.log.append(HostCommandRecord(index, command, ok=True))
+        return result
+
+    # ----------------------------------------------------------- handlers
+    def _cmd_get_public_key(self) -> bytes:
+        return self.flock.public_key.to_bytes()
+
+    def _cmd_get_certificate(self) -> bytes:
+        if self.flock.certificate is None:
+            raise FlockError("no certificate installed")
+        return self.flock.certificate.to_bytes()
+
+    def _cmd_get_service_view(self, domain: str) -> dict:
+        view = self.flock.service_view(domain)
+        return {"domain": view.domain, "account": view.account,
+                "public_key": view.public_key.to_bytes()}
+
+    def _cmd_list_domains(self) -> list[str]:
+        return self.flock.flash.domains()
+
+    def _cmd_sign_as_device(self, message: bytes) -> bytes:
+        return self.flock.sign_as_device(message)
+
+    def _cmd_sign_for_service(self, domain: str, message: bytes) -> bytes:
+        return self.flock.sign_for_service(domain, message)
+
+    def _cmd_session_mac(self, domain: str, message: bytes) -> bytes:
+        return self.flock.session_mac(domain, message)
+
+    def _cmd_verify_session_mac(self, domain: str, message: bytes,
+                                tag: bytes) -> bool:
+        return self.flock.verify_session_mac(domain, message, tag)
+
+    def _cmd_open_session(self, domain: str) -> bytes:
+        return self.flock.open_session(domain)
+
+    def _cmd_close_session(self, domain: str) -> None:
+        self.flock.close_session(domain)
+
+    def _cmd_current_frame_hash(self) -> bytes:
+        return self.flock.current_frame_hash
+
+    def _cmd_attest_challenge(self, domain: str) -> bytes:
+        return self.flock.attest_challenge(domain)
+
+    # ------------------------------------------------------------- audit
+    def command_counts(self) -> dict[str, int]:
+        """Histogram of commands issued over this interface."""
+        counts: dict[str, int] = {}
+        for record in self.log:
+            counts[record.command] = counts.get(record.command, 0) + 1
+        return counts

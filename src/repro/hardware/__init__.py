@@ -1,0 +1,41 @@
+"""Hardware substrate: touchscreen, TFT sensor arrays, readout, power, placement.
+
+Cycle-approximate behavioural models of the paper's Fig. 1-4 hardware.  All
+latencies and energies are *modeled* quantities derived from array geometry
+and clocking — deterministic and machine-independent.
+"""
+
+from .timing import NS_PER_MS, NS_PER_S, NS_PER_US, SimClock
+from .specs import AddressingMode, FLOCK_SENSOR, FLOCK_SENSOR_WIDE, SensorSpec, TABLE2_SPECS
+from .touchscreen import LocatedTouch, TouchEvent, TouchPanel
+from .sensor_array import CaptureResult, CaptureWindow, SensorArray
+from .readout import (
+    PolicyTiming,
+    ReadoutPolicy,
+    compare_policies,
+    policy_capture_time_s,
+)
+from .power import EnergyBreakdown, PowerModel
+from .optical import OpticalCapture, OpticalSensor, OpticalSensorSpec
+from .defects import DefectMap, yield_fraction
+from .placement import (
+    PlacedSensor,
+    SensorLayout,
+    greedy_placement,
+    grid_placement,
+    random_placement,
+)
+
+__all__ = [
+    "SimClock", "NS_PER_MS", "NS_PER_US", "NS_PER_S",
+    "SensorSpec", "AddressingMode", "TABLE2_SPECS", "FLOCK_SENSOR",
+    "FLOCK_SENSOR_WIDE",
+    "TouchEvent", "LocatedTouch", "TouchPanel",
+    "SensorArray", "CaptureWindow", "CaptureResult",
+    "ReadoutPolicy", "PolicyTiming", "compare_policies", "policy_capture_time_s",
+    "PowerModel", "EnergyBreakdown",
+    "OpticalSensorSpec", "OpticalSensor", "OpticalCapture",
+    "DefectMap", "yield_fraction",
+    "PlacedSensor", "SensorLayout",
+    "greedy_placement", "grid_placement", "random_placement",
+]

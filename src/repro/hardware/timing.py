@@ -1,0 +1,54 @@
+"""Simulation time base.
+
+All hardware and protocol components share one logical clock with nanosecond
+resolution.  The clock is purely logical — benchmarks that report capture
+latencies read *modeled* time from this clock, never wall-clock time, so
+results are machine-independent and deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock", "NS_PER_MS", "NS_PER_US", "NS_PER_S"]
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+class SimClock:
+    """Monotonic logical clock (nanoseconds)."""
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now_ns = int(start_ns)
+
+    @property
+    def now_ns(self) -> int:
+        """Current logical time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_ms(self) -> float:
+        """Current logical time in milliseconds."""
+        return self._now_ns / NS_PER_MS
+
+    @property
+    def now_s(self) -> float:
+        """Current logical time in seconds."""
+        return self._now_ns / NS_PER_S
+
+    def advance_ns(self, delta_ns: int) -> int:
+        """Move time forward; rejects negative deltas (monotonicity)."""
+        if delta_ns < 0:
+            raise ValueError("cannot move time backwards")
+        self._now_ns += int(delta_ns)
+        return self._now_ns
+
+    def advance_ms(self, delta_ms: float) -> int:
+        """Advance the clock by milliseconds."""
+        return self.advance_ns(int(round(delta_ms * NS_PER_MS)))
+
+    def advance_s(self, delta_s: float) -> int:
+        """Advance the clock by seconds."""
+        return self.advance_ns(int(round(delta_s * NS_PER_S)))

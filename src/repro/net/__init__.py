@@ -1,0 +1,48 @@
+"""The remote half of TRUST: devices, servers, CA, channel, protocols.
+
+Implements Fig. 8's deployment — mobile devices with FLock modules, web
+servers, a CA — plus the Fig. 9 registration and Fig. 10 continuous
+authentication protocols over an adversary-observable channel.
+"""
+
+from .message import (
+    MSG_CONTENT_PAGE,
+    MSG_LOGIN_PAGE,
+    MSG_LOGIN_SUBMIT,
+    MSG_PAGE_REQUEST,
+    MSG_REGISTRATION_PAGE,
+    MSG_REGISTRATION_SUBMIT,
+    Envelope,
+    ProtocolError,
+    canonical_payload,
+)
+from .channel import ChannelRecord, UntrustedChannel
+from .webserver import SessionState, WebServer
+from .browser import Browser, Malware
+from .device import MobileDevice, default_layout
+from .protocol import (
+    answer_challenge,
+    ProtocolOutcome,
+    TrustSession,
+    login,
+    register_device,
+    session_request,
+)
+from .reset_transfer import TransferError, reset_identity, transfer_identity
+from .audit import AuditFinding, AuditReport, FrameAuditor
+from .cookies import cookie_size_bytes, decode_cookie, encode_cookie
+
+__all__ = [
+    "Envelope", "ProtocolError", "canonical_payload",
+    "MSG_REGISTRATION_PAGE", "MSG_REGISTRATION_SUBMIT", "MSG_LOGIN_PAGE",
+    "MSG_LOGIN_SUBMIT", "MSG_CONTENT_PAGE", "MSG_PAGE_REQUEST",
+    "ChannelRecord", "UntrustedChannel",
+    "SessionState", "WebServer",
+    "Browser", "Malware",
+    "MobileDevice", "default_layout",
+    "ProtocolOutcome", "TrustSession", "register_device", "login",
+    "session_request", "answer_challenge",
+    "TransferError", "reset_identity", "transfer_identity",
+    "AuditFinding", "AuditReport", "FrameAuditor",
+    "encode_cookie", "decode_cookie", "cookie_size_bytes",
+]

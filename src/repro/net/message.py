@@ -1,0 +1,112 @@
+"""Protocol messages and their canonical MAC encoding (Figs. 9-10).
+
+Every TRUST message is a set of key-value fields plus a MAC computed over
+the *canonical encoding* of those fields — sorted ``key=hex(value)`` lines —
+so both endpoints MAC exactly the same bytes regardless of field order.
+The MAC is either an RSA signature (registration, where no shared key
+exists yet) or an HMAC under the session key (post-login traffic), matching
+the paper's "MAC: Encrypt_K(hash of key-value pairs)" notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ProtocolError",
+    "canonical_payload",
+    "Envelope",
+    "MSG_REGISTRATION_PAGE",
+    "MSG_REGISTRATION_SUBMIT",
+    "MSG_LOGIN_PAGE",
+    "MSG_LOGIN_SUBMIT",
+    "MSG_CONTENT_PAGE",
+    "MSG_PAGE_REQUEST",
+    "MSG_CHALLENGE",
+    "MSG_CHALLENGE_RESPONSE",
+]
+
+
+class ProtocolError(Exception):
+    """Raised when an endpoint rejects a message; carries a reason code."""
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+        self.detail = detail
+
+
+MSG_REGISTRATION_PAGE = "registration-page"
+MSG_REGISTRATION_SUBMIT = "registration-submit"
+MSG_LOGIN_PAGE = "login-page"
+MSG_LOGIN_SUBMIT = "login-submit"
+MSG_CONTENT_PAGE = "content-page"
+MSG_PAGE_REQUEST = "page-request"
+MSG_CHALLENGE = "challenge"
+MSG_CHALLENGE_RESPONSE = "challenge-response"
+
+
+def _encode_value(value) -> str:
+    if isinstance(value, bytes):
+        return "b:" + value.hex()
+    if isinstance(value, bool):
+        return "B:" + ("1" if value else "0")
+    if isinstance(value, int):
+        return "i:" + str(value)
+    if isinstance(value, float):
+        return "f:" + repr(value)
+    if isinstance(value, str):
+        return "s:" + value
+    raise TypeError(f"unsupported field type {type(value).__name__}")
+
+
+def canonical_payload(fields: dict) -> bytes:
+    """Canonical byte encoding of a field dict (the MAC/signature input)."""
+    lines = []
+    for key in sorted(fields):
+        if key == "mac":
+            continue  # the MAC never covers itself
+        lines.append(f"{key}={_encode_value(fields[key])}")
+    return "\n".join(lines).encode("utf-8")
+
+
+@dataclass
+class Envelope:
+    """One message on the wire: a type tag, fields, and the MAC field.
+
+    The envelope is deliberately a plain mutable container: the untrusted
+    channel and the malware-controlled browser are *supposed* to be able to
+    tamper with it.  Security comes from verification, not encapsulation.
+    """
+
+    msg_type: str
+    fields: dict = field(default_factory=dict)
+
+    @property
+    def mac(self) -> bytes:
+        """The message's MAC/signature field (empty if unset)."""
+        return self.fields.get("mac", b"")
+
+    def set_mac(self, tag: bytes) -> "Envelope":
+        """Attach the MAC/signature; returns self for chaining."""
+        self.fields["mac"] = tag
+        return self
+
+    def signed_bytes(self) -> bytes:
+        """What the MAC/signature covers: type tag + canonical fields."""
+        return self.msg_type.encode("utf-8") + b"\n" + canonical_payload(self.fields)
+
+    def require(self, *keys: str) -> None:
+        """Presence check; raises ProtocolError listing missing fields."""
+        missing = [k for k in keys if k not in self.fields]
+        if missing:
+            raise ProtocolError("malformed-message",
+                                f"{self.msg_type} missing {missing}")
+
+    def size_bytes(self) -> int:
+        """Approximate wire size (canonical encoding + MAC)."""
+        return len(self.signed_bytes()) + len(self.mac)
+
+    def copy(self) -> "Envelope":
+        """Shallow-field copy (what the channel hands adversaries)."""
+        return Envelope(self.msg_type, dict(self.fields))

@@ -1,0 +1,67 @@
+"""Identity reset and identity transfer (paper section IV-B, last part).
+
+*Reset*: a lost device's key bindings are revoked at each web service using
+the legacy password fallback, after which the user re-registers from the
+new device (the normal Fig. 9 flow).
+
+*Transfer*: when upgrading devices, the old FLock encrypts all service
+records + the biometric identity under the new device's built-in public
+key — authorized by a verified fingerprint touch on the old device — and
+the new device imports them, after which it can sign for every bound
+service without any server-side change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fingerprint import MasterFingerprint
+from .device import MobileDevice
+from .message import ProtocolError
+from .webserver import WebServer
+
+__all__ = ["reset_identity", "transfer_identity", "TransferError"]
+
+
+class TransferError(Exception):
+    """Raised when an identity transfer cannot be authorized or applied."""
+
+
+def reset_identity(server: WebServer, account: str, password: str) -> bool:
+    """Revoke the account's device-key binding using the password fallback.
+
+    Returns True when the binding was removed; raises
+    :class:`~repro.net.message.ProtocolError` on a wrong password (the
+    server counts the rejection), mirroring a real reset endpoint.
+    """
+    server.reset_identity(account, password)
+    return server.account_key(account) is None
+
+
+def transfer_identity(old_device: MobileDevice, new_device: MobileDevice,
+                      authorize_xy: tuple[float, float],
+                      master: MasterFingerprint,
+                      rng: np.random.Generator,
+                      time_s: float = 0.0,
+                      max_attempts: int = 4) -> list[str]:
+    """Move all bindings from ``old_device`` to ``new_device``.
+
+    The user authorizes the transfer by touching the old device's consent
+    button (which the UI places over a fingerprint sensor); a touch whose
+    opportunistic capture verifies against the old device's enrolled
+    template is required — the genuine user may need a couple of presses,
+    an impostor never produces one.  Returns the transferred domains.
+    """
+    verified = False
+    for attempt in range(max_attempts):
+        _, outcome = old_device.touch_at(authorize_xy[0], authorize_xy[1],
+                                         time_s + attempt * 0.5, master, rng)
+        if outcome.verified:
+            verified = True
+            break
+    if not verified:
+        raise TransferError(
+            f"transfer authorization did not verify in {max_attempts} touches")
+    bundle = old_device.flock.export_identity(
+        new_device.flock.public_key, authorizing_touch_verified=True)
+    return new_device.flock.import_identity(bundle)

@@ -1,0 +1,18 @@
+"""Touch workload generation: users, layouts, gestures, sessions.
+
+Parametric stand-in for the paper's HTC touch-trace study (Fig. 7): per-user
+hot-spot behaviour emerges from UI-anchored touch targets plus personal
+biases, and aggregated density maps drive the sensor-placement optimizer.
+"""
+
+from .layouts import UiElement, UiLayout, standard_layouts
+from .users import UserTouchModel, example_users
+from .gestures import Gesture, GestureKind, make_swipe, make_tap, make_zoom
+from .sessions import SessionConfig, SessionGenerator, TouchTrace, density_map
+
+__all__ = [
+    "UiElement", "UiLayout", "standard_layouts",
+    "UserTouchModel", "example_users",
+    "Gesture", "GestureKind", "make_tap", "make_swipe", "make_zoom",
+    "SessionConfig", "SessionGenerator", "TouchTrace", "density_map",
+]

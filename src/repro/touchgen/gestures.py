@@ -1,0 +1,122 @@
+"""Gesture synthesis: taps, swipes and two-finger zooms as touch streams.
+
+The paper notes that gestures matter twice: swipes move too fast for clean
+fingerprint capture (the Fig. 6 quality gate), and zoom gestures change the
+displayed view, altering the frame hash the display repeater reports.  Each
+gesture expands into a sequence of :class:`~repro.hardware.TouchEvent`
+samples at the panel's report rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.hardware import TouchEvent
+
+__all__ = ["GestureKind", "Gesture", "make_tap", "make_swipe", "make_zoom"]
+
+#: Sampling period of gesture way-points (matches a 250 Hz touch controller).
+SAMPLE_PERIOD_S = 0.004
+
+
+class GestureKind(Enum):
+    """The three gesture categories the workloads generate."""
+    TAP = "tap"
+    SWIPE = "swipe"
+    ZOOM = "zoom"
+
+
+@dataclass(frozen=True)
+class Gesture:
+    """One gesture: its kind and the touch samples it generates."""
+
+    kind: GestureKind
+    events: tuple[TouchEvent, ...]
+    changes_view: bool  # zoom/scroll gestures alter the displayed frame
+
+    @property
+    def start_s(self) -> float:
+        """Timestamp of the first contact sample."""
+        return self.events[0].time_s
+
+    @property
+    def end_s(self) -> float:
+        """Timestamp when the last contact lifts."""
+        last = self.events[-1]
+        return last.time_s + last.duration_s
+
+    @property
+    def primary_event(self) -> TouchEvent:
+        """The sample used for fingerprint capture (initial contact)."""
+        return self.events[0]
+
+
+def make_tap(time_s: float, x_mm: float, y_mm: float, pressure: float,
+             duration_s: float, finger_id: str,
+             speed_mm_s: float = 0.0) -> Gesture:
+    """A stationary tap: one contact sample."""
+    event = TouchEvent(time_s=time_s, x_mm=x_mm, y_mm=y_mm,
+                       pressure=pressure, speed_mm_s=speed_mm_s,
+                       duration_s=duration_s, finger_id=finger_id)
+    return Gesture(kind=GestureKind.TAP, events=(event,), changes_view=False)
+
+
+def make_swipe(time_s: float, start_mm: tuple[float, float],
+               end_mm: tuple[float, float], duration_s: float,
+               pressure: float, finger_id: str,
+               panel_limits_mm: tuple[float, float] = (56.0, 94.0)) -> Gesture:
+    """A straight-line swipe sampled at the controller rate.
+
+    The per-sample ``speed_mm_s`` is the actual finger velocity — a fast
+    swipe produces high-speed samples the quality gate will reject.
+    """
+    if duration_s <= 0:
+        raise ValueError("swipe duration must be positive")
+    n_samples = max(int(duration_s / SAMPLE_PERIOD_S), 2)
+    xs = np.linspace(start_mm[0], end_mm[0], n_samples)
+    ys = np.linspace(start_mm[1], end_mm[1], n_samples)
+    distance = float(np.hypot(end_mm[0] - start_mm[0], end_mm[1] - start_mm[1]))
+    speed = distance / duration_s
+    width, height = panel_limits_mm
+    events = tuple(
+        TouchEvent(
+            time_s=time_s + i * SAMPLE_PERIOD_S,
+            x_mm=float(np.clip(xs[i], 0.0, width)),
+            y_mm=float(np.clip(ys[i], 0.0, height)),
+            pressure=pressure, speed_mm_s=speed,
+            duration_s=SAMPLE_PERIOD_S, finger_id=finger_id,
+        )
+        for i in range(n_samples)
+    )
+    return Gesture(kind=GestureKind.SWIPE, events=events, changes_view=True)
+
+
+def make_zoom(time_s: float, center_mm: tuple[float, float],
+              start_gap_mm: float, end_gap_mm: float, duration_s: float,
+              pressure: float, finger_id: str,
+              panel_limits_mm: tuple[float, float] = (56.0, 94.0)) -> Gesture:
+    """A two-finger pinch: both contacts sampled, view changes."""
+    if duration_s <= 0:
+        raise ValueError("zoom duration must be positive")
+    if start_gap_mm <= 0 or end_gap_mm <= 0:
+        raise ValueError("finger gaps must be positive")
+    n_samples = max(int(duration_s / SAMPLE_PERIOD_S), 2)
+    gaps = np.linspace(start_gap_mm, end_gap_mm, n_samples)
+    speed = abs(end_gap_mm - start_gap_mm) / 2 / duration_s
+    width, height = panel_limits_mm
+    events = []
+    for i in range(n_samples):
+        for sign in (-1.0, 1.0):
+            events.append(TouchEvent(
+                time_s=time_s + i * SAMPLE_PERIOD_S,
+                x_mm=float(np.clip(center_mm[0] + sign * gaps[i] / 2,
+                                   0.0, width)),
+                y_mm=float(np.clip(center_mm[1], 0.0, height)),
+                pressure=pressure, speed_mm_s=speed,
+                duration_s=SAMPLE_PERIOD_S, finger_id=finger_id,
+            ))
+    return Gesture(kind=GestureKind.ZOOM, events=tuple(events),
+                   changes_view=True)

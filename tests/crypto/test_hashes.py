@@ -1,0 +1,118 @@
+"""SHA-256 and MD5 against published test vectors and stdlib hashlib."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import MD5, SHA256, md5_hex, sha256_hex
+
+
+class TestSha256Vectors:
+    def test_empty(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc(self):
+        assert sha256_hex(b"abc") == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_two_block_message(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha256_hex(msg) == (
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        )
+
+    def test_million_a(self):
+        digest = sha256_hex(b"a" * 1_000_000)
+        assert digest == (
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        )
+
+    def test_exact_block_boundary(self):
+        for size in (55, 56, 57, 63, 64, 65, 119, 120, 128):
+            data = bytes(range(256))[:size] * 1
+            assert sha256_hex(data) == hashlib.sha256(data).hexdigest()
+
+
+class TestSha256Api:
+    def test_incremental_equals_oneshot(self):
+        h = SHA256()
+        h.update(b"hello ")
+        h.update(b"world")
+        assert h.hexdigest() == sha256_hex(b"hello world")
+
+    def test_digest_does_not_consume_state(self):
+        h = SHA256(b"abc")
+        first = h.digest()
+        second = h.digest()
+        assert first == second
+        h.update(b"def")
+        assert h.hexdigest() == sha256_hex(b"abcdef")
+
+    def test_copy_is_independent(self):
+        h = SHA256(b"abc")
+        clone = h.copy()
+        clone.update(b"def")
+        assert h.hexdigest() == sha256_hex(b"abc")
+        assert clone.hexdigest() == sha256_hex(b"abcdef")
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            SHA256().update("not bytes")  # type: ignore[arg-type]
+
+    def test_accepts_bytearray_and_memoryview(self):
+        assert SHA256(bytearray(b"abc")).hexdigest() == sha256_hex(b"abc")
+        assert SHA256(memoryview(b"abc")).hexdigest() == sha256_hex(b"abc")
+
+    @given(st.binary(max_size=300))
+    def test_matches_hashlib(self, data):
+        assert sha256_hex(data) == hashlib.sha256(data).hexdigest()
+
+    @given(st.binary(max_size=150), st.binary(max_size=150))
+    def test_split_update_invariant(self, a, b):
+        h = SHA256()
+        h.update(a)
+        h.update(b)
+        assert h.digest() == SHA256(a + b).digest()
+
+
+class TestMd5Vectors:
+    """RFC 1321 appendix A.5 test suite."""
+
+    VECTORS = {
+        b"": "d41d8cd98f00b204e9800998ecf8427e",
+        b"a": "0cc175b9c0f1b6a831c399e269772661",
+        b"abc": "900150983cd24fb0d6963f7d28e17f72",
+        b"message digest": "f96b697d7cb7938d525a2f31aaf161d0",
+        b"abcdefghijklmnopqrstuvwxyz": "c3fcd3d76192e4007dfb496cca67e13b",
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789":
+            "d174ab98d277d9f5a5611c2c9f419d9f",
+        b"1234567890" * 8: "57edf4a22be3c955ac49da2e2107b67a",
+    }
+
+    @pytest.mark.parametrize("message,expected", sorted(VECTORS.items()))
+    def test_rfc1321_vector(self, message, expected):
+        assert md5_hex(message) == expected
+
+    @given(st.binary(max_size=300))
+    def test_matches_hashlib(self, data):
+        assert md5_hex(data) == hashlib.md5(data).hexdigest()
+
+    def test_incremental(self):
+        h = MD5()
+        for chunk in (b"mes", b"sage", b" digest"):
+            h.update(chunk)
+        assert h.hexdigest() == "f96b697d7cb7938d525a2f31aaf161d0"
+
+    def test_copy_is_independent(self):
+        h = MD5(b"abc")
+        clone = h.copy()
+        clone.update(b"x")
+        assert h.hexdigest() == md5_hex(b"abc")
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            MD5().update("oops")  # type: ignore[arg-type]

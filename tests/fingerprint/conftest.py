@@ -1,0 +1,24 @@
+"""Shared fingerprint fixtures — masters and templates are expensive, so
+they are synthesized once per test session."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint import enroll_master, synthesize_master
+
+
+@pytest.fixture(scope="session")
+def master_pair():
+    """Two distinct masters from one seeded stream."""
+    rng = np.random.default_rng(1234)
+    return (
+        synthesize_master("fixture-f0", rng),
+        synthesize_master("fixture-f1", rng),
+    )
+
+
+@pytest.fixture(scope="session")
+def enrolled_pair(master_pair):
+    """Templates for the two fixture masters."""
+    rng = np.random.default_rng(99)
+    return tuple(enroll_master(m, rng) for m in master_pair)

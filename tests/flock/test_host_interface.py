@@ -1,0 +1,109 @@
+"""The host-interface command boundary: whitelist, logging, no secrets."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import CertificateAuthority, HmacDrbg, RsaPublicKey, generate_keypair
+from repro.fingerprint import enroll_master, synthesize_master
+from repro.flock import FlockError, HostCommandError, HostInterface
+from repro.net import MobileDevice
+
+
+@pytest.fixture(scope="module")
+def bound_device():
+    ca = CertificateAuthority(rng=HmacDrbg(b"ca-host"), key_bits=1024)
+    master = synthesize_master("host-f", np.random.default_rng(5))
+    template = enroll_master(master, np.random.default_rng(6))
+    device = MobileDevice("host-dev", b"host-seed", ca=ca)
+    device.flock.enroll_local_user(template)
+    server_key = generate_keypair(HmacDrbg(b"host-server"), bits=1024)
+    cert = ca.issue("www.host.example", "web-server", server_key.public_key)
+    device.flock.begin_service_binding("www.host.example", "acct", cert,
+                                       now=0)
+    device.flock.complete_service_binding("www.host.example", template)
+    return device, server_key
+
+
+@pytest.fixture()
+def interface(bound_device):
+    device, _ = bound_device
+    return HostInterface(flock=device.flock)
+
+
+class TestCommandDispatch:
+    def test_public_key_roundtrips(self, interface, bound_device):
+        device, _ = bound_device
+        raw = interface.call("get-public-key")
+        assert RsaPublicKey.from_bytes(raw) == device.flock.public_key
+
+    def test_certificate(self, interface):
+        assert len(interface.call("get-certificate")) > 100
+
+    def test_list_domains(self, interface):
+        assert interface.call("list-domains") == ["www.host.example"]
+
+    def test_service_view_has_no_secrets(self, interface):
+        view = interface.call("get-service-view", domain="www.host.example")
+        assert set(view) == {"domain", "account", "public_key"}
+
+    def test_sign_commands(self, interface, bound_device):
+        device, _ = bound_device
+        signature = interface.call("sign-as-device", message=b"m")
+        assert device.flock.public_key.verify(b"m", signature)
+        service_sig = interface.call("sign-for-service",
+                                     domain="www.host.example", message=b"m")
+        view = device.flock.service_view("www.host.example")
+        assert view.public_key.verify(b"m", service_sig)
+
+    def test_session_lifecycle(self, interface, bound_device):
+        device, server_key = bound_device
+        sealed = interface.call("open-session", domain="www.host.example")
+        session_key = server_key.decrypt(sealed)
+        assert len(session_key) == 32
+        tag = interface.call("session-mac", domain="www.host.example",
+                             message=b"payload")
+        assert interface.call("verify-session-mac",
+                              domain="www.host.example",
+                              message=b"payload", tag=tag)
+        interface.call("close-session", domain="www.host.example")
+        with pytest.raises(FlockError):
+            interface.call("session-mac", domain="www.host.example",
+                           message=b"x")
+
+    def test_unknown_command_rejected(self, interface):
+        with pytest.raises(HostCommandError, match="unknown command"):
+            interface.call("read-template")
+        with pytest.raises(HostCommandError):
+            interface.call("get-private-key")
+
+    def test_bad_arguments_rejected(self, interface):
+        with pytest.raises(HostCommandError, match="bad arguments"):
+            interface.call("sign-as-device", wrong_kwarg=b"m")
+
+    def test_no_secret_reading_commands_exist(self):
+        """The whitelist itself is the security property."""
+        forbidden_words = ("template", "private", "secret", "session-key",
+                           "flash", "record")
+        for command in HostInterface.COMMANDS:
+            for word in forbidden_words:
+                assert word not in command, command
+
+
+class TestAuditLog:
+    def test_log_records_success_and_failure(self, interface):
+        interface.call("list-domains")
+        with pytest.raises(HostCommandError):
+            interface.call("nope")
+        assert interface.log[-2].ok
+        assert not interface.log[-1].ok
+        assert interface.log[-1].error == "unknown-command"
+
+    def test_flock_errors_logged(self, interface):
+        with pytest.raises(FlockError):
+            interface.call("attest-challenge", domain="www.host.example")
+        assert not interface.log[-1].ok
+
+    def test_command_counts(self, interface):
+        interface.call("list-domains")
+        interface.call("list-domains")
+        assert interface.command_counts()["list-domains"] == 2

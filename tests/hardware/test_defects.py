@@ -1,0 +1,97 @@
+"""TFT defect model, compensation, and yield (section II-C economics)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import DefectMap, yield_fraction
+
+
+class TestDefectMap:
+    def test_sample_statistics(self):
+        rng = np.random.default_rng(0)
+        defects = DefectMap.sample(256, 256, rng, cell_defect_rate=0.01,
+                                   line_defect_rate=0.0)
+        fraction = defects.dead_cells.mean()
+        assert 0.005 < fraction < 0.02
+        assert not defects.dead_rows and not defects.dead_cols
+
+    def test_total_dead_fraction_includes_lines(self):
+        defects = DefectMap(rows=10, cols=10, dead_rows=[3], dead_cols=[7])
+        # one row + one col - the shared cell = 19 cells of 100.
+        assert defects.total_dead_fraction == pytest.approx(0.19)
+
+    def test_apply_to_analog_capture(self):
+        defects = DefectMap(rows=8, cols=8, dead_rows=[2])
+        image = np.ones((8, 8))
+        out = defects.apply_to_capture(image)
+        assert (out[2] == 0.5).all()
+        assert (out[3] == 1.0).all()
+
+    def test_apply_to_binary_capture(self):
+        defects = DefectMap(rows=8, cols=8, dead_cols=[1])
+        image = np.ones((8, 8), dtype=bool)
+        out = defects.apply_to_capture(image)
+        assert not out[:, 1].any()
+        assert out[:, 0].all()
+
+    def test_windowed_application(self):
+        defects = DefectMap(rows=100, cols=100, dead_rows=[50])
+        window = np.ones((20, 20))
+        out = defects.apply_to_capture(window, window_row0=45,
+                                       window_col0=0)
+        assert (out[5] == 0.5).all()  # row 50 lands at local index 5
+        out_far = defects.apply_to_capture(window, window_row0=70)
+        assert (out_far == 1.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DefectMap(rows=0, cols=5)
+        with pytest.raises(ValueError):
+            DefectMap(rows=5, cols=5, dead_rows=[9])
+        with pytest.raises(ValueError):
+            DefectMap.sample(5, 5, np.random.default_rng(0),
+                             cell_defect_rate=2.0)
+
+
+class TestCompensation:
+    def test_compensation_fills_from_neighbours(self):
+        defects = DefectMap(rows=8, cols=8, dead_rows=[3])
+        image = np.zeros((8, 8))
+        image[:4] = 1.0  # top half bright; row 3 dead
+        corrupted = defects.apply_to_capture(image)
+        fixed = defects.compensate(corrupted)
+        # Row 3 refills from adjacent rows (values 1.0 above, 0.0 below).
+        assert set(np.unique(fixed[3])) <= {0.0, 1.0}
+        assert fixed[3].mean() > 0.0
+
+    def test_no_defects_is_identity(self):
+        defects = DefectMap(rows=6, cols=6)
+        image = np.random.default_rng(0).random((6, 6))
+        assert np.allclose(defects.compensate(image), image)
+
+    def test_compensation_copy_not_inplace(self):
+        defects = DefectMap(rows=6, cols=6, dead_cols=[2])
+        image = np.ones((6, 6))
+        corrupted = defects.apply_to_capture(image)
+        fixed = defects.compensate(corrupted)
+        assert (corrupted[:, 2] == 0.5).all()  # original untouched
+        assert (fixed[:, 2] == 1.0).all()
+
+
+class TestYield:
+    def test_loose_budget_high_yield(self):
+        rng = np.random.default_rng(1)
+        assert yield_fraction(100, 256, 256, rng,
+                              max_dead_fraction=0.05) > 0.95
+
+    def test_tight_budget_low_yield(self):
+        rng = np.random.default_rng(2)
+        loose = yield_fraction(100, 256, 256, np.random.default_rng(2),
+                               max_dead_fraction=0.02)
+        tight = yield_fraction(100, 256, 256, np.random.default_rng(2),
+                               max_dead_fraction=0.001)
+        assert tight < loose
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            yield_fraction(0, 10, 10, np.random.default_rng(0), 0.1)

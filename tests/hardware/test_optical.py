@@ -1,0 +1,80 @@
+"""Optical sensor model (Fig. 3, section II-C)."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint import CaptureCondition, render_impression, synthesize_master
+from repro.hardware import (
+    FLOCK_SENSOR,
+    CaptureWindow,
+    OpticalSensor,
+    OpticalSensorSpec,
+    SensorArray,
+)
+
+
+@pytest.fixture(scope="module")
+def impression():
+    rng = np.random.default_rng(0)
+    master = synthesize_master("opt-f", rng)
+    return render_impression(master, CaptureCondition(noise=0.02), rng)
+
+
+class TestOpticalSpec:
+    def test_thickness_dominated_by_optical_path(self):
+        spec = OpticalSensorSpec()
+        assert spec.module_thickness_mm > (spec.working_distance_mm
+                                           + spec.sensor_distance_mm)
+
+    def test_thinner_optics_need_shorter_path(self):
+        thin = OpticalSensorSpec(working_distance_mm=8.0,
+                                 sensor_distance_mm=6.0)
+        assert thin.module_thickness_mm < OpticalSensorSpec().module_thickness_mm
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpticalSensorSpec(platen_mm=-1)
+        with pytest.raises(ValueError):
+            OpticalSensorSpec(vignetting=1.0)
+        with pytest.raises(ValueError):
+            OpticalSensorSpec(exposure_s=0)
+
+    def test_capture_time(self):
+        spec = OpticalSensorSpec(exposure_s=0.03, readout_s=0.015)
+        assert spec.capture_time_s == pytest.approx(0.045)
+
+
+class TestOpticalCapture:
+    def test_image_range_and_shape(self, impression):
+        rng = np.random.default_rng(1)
+        capture = OpticalSensor().capture(impression, rng)
+        assert capture.image.shape == (320, 320)
+        assert (capture.image >= 0).all() and (capture.image <= 1).all()
+
+    def test_vignetting_darkens_corners(self, impression):
+        rng = np.random.default_rng(2)
+        spec = OpticalSensorSpec(vignetting=0.6, defocus_blur_px=0.1)
+        capture = OpticalSensor(spec).capture(impression, rng)
+        centre = np.abs(capture.image[150:170, 150:170] - 0.5).mean()
+        corner = np.abs(capture.image[:20, :20] - 0.5).mean()
+        assert corner < centre
+
+    def test_short_exposure_noisier(self, impression):
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        long_exp = OpticalSensor(OpticalSensorSpec(exposure_s=0.060))
+        short_exp = OpticalSensor(OpticalSensorSpec(exposure_s=0.008))
+        capture_long = long_exp.capture(impression, rng_a)
+        capture_short = short_exp.capture(impression, rng_b)
+        # Compare high-frequency energy (noise) via local residual.
+        from scipy import ndimage
+        def noise_level(img):
+            return np.abs(img - ndimage.uniform_filter(img, 3)).mean()
+        assert noise_level(capture_short.image) > noise_level(capture_long.image)
+
+    def test_paper_claim_tft_wins_on_thickness_and_speed(self, impression):
+        """Section II-C: optical can't fit a thin package; TFT can."""
+        spec = OpticalSensorSpec()
+        tft_time = SensorArray(FLOCK_SENSOR).capture_time_s(
+            CaptureWindow.full(FLOCK_SENSOR))
+        assert spec.module_thickness_mm > 20.0  # cm-scale stack
+        assert spec.capture_time_s > 20 * tft_time

@@ -1,0 +1,153 @@
+"""Failure injection: drop every message of every protocol, one at a time.
+
+Each protocol run must fail cleanly ("message-dropped") when any of its
+messages is lost, and must leave no half-open state behind: no dangling
+session keys in FLock, no phantom sessions on the server, and a retried
+run must succeed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import CertificateAuthority, HmacDrbg
+from repro.fingerprint import enroll_master, synthesize_master
+from repro.net import (
+    MobileDevice,
+    UntrustedChannel,
+    WebServer,
+    login,
+    register_device,
+    session_request,
+)
+
+BUTTON_XY = (28.0, 80.0)
+
+
+@pytest.fixture(scope="module")
+def world():
+    ca = CertificateAuthority(rng=HmacDrbg(b"ca-drop"), key_bits=1024)
+    master = synthesize_master("drop-alice", np.random.default_rng(5))
+    template = enroll_master(master, np.random.default_rng(6))
+    device = MobileDevice("drop-dev", b"drop-seed", ca=ca)
+    device.flock.enroll_local_user(template)
+    server = WebServer("www.drop.example", ca, b"drop-server")
+    server.create_account("alice", "pw")
+    return ca, device, server, master
+
+
+def _drop_nth(n):
+    """A channel that drops its n-th carried message (0-based)."""
+    state = {"count": -1}
+
+    def hook(envelope, direction):
+        state["count"] += 1
+        return state["count"] == n
+
+    return UntrustedChannel(drop_hook=hook)
+
+
+class TestRegistrationDrops:
+    @pytest.mark.parametrize("drop_index", [0, 1, 2])
+    def test_any_drop_fails_cleanly_and_retry_works(self, world, drop_index):
+        ca, device, server, master = world
+        rng = np.random.default_rng(10 + drop_index)
+        channel = _drop_nth(drop_index)
+        outcome = register_device(device, server, channel, "alice",
+                                  BUTTON_XY, master, rng)
+        assert outcome.reason == "message-dropped"
+        assert not outcome.success
+
+        if drop_index <= 1:
+            # The binding never reached the server: nothing bound.
+            assert server.account_key("alice") is None
+            # Pending state must not leak inside FLock.
+            assert "www.drop.example" not in device.flock._pending_bindings
+            # A clean retry succeeds (local record may persist from the
+            # completed step-2; unbind to model a fresh attempt).
+            if device.flock.flash.has_record(server.domain):
+                device.flock.unbind_service(server.domain)
+            retry = register_device(device, server, _drop_nth(999), "alice",
+                                    BUTTON_XY, master, rng)
+            assert retry.success, retry.reason
+            # Reset for other parametrizations.
+            server.reset_identity("alice", "pw")
+            device.flock.unbind_service(server.domain)
+        else:
+            # The ack was dropped: the server *did* bind (step 5 ran); a
+            # real client re-fetches state. Verify the binding is usable,
+            # then reset.
+            assert server.account_key("alice") is not None
+            server.reset_identity("alice", "pw")
+            device.flock.unbind_service(server.domain)
+
+
+class TestLoginDrops:
+    @pytest.fixture()
+    def bound(self, world):
+        ca, device, server, master = world
+        rng = np.random.default_rng(30)
+        if not device.flock.flash.has_record(server.domain):
+            if server.account_key("alice") is not None:
+                server.reset_identity("alice", "pw")
+            outcome = register_device(device, server, UntrustedChannel(),
+                                      "alice", BUTTON_XY, master, rng)
+            assert outcome.success, outcome.reason
+        elif server.account_key("alice") is None:
+            device.flock.unbind_service(server.domain)
+            outcome = register_device(device, server, UntrustedChannel(),
+                                      "alice", BUTTON_XY, master, rng)
+            assert outcome.success, outcome.reason
+        return device, server, master
+
+    @pytest.mark.parametrize("drop_index", [0, 1, 2])
+    def test_any_drop_fails_cleanly(self, bound, drop_index):
+        device, server, master = bound
+        rng = np.random.default_rng(40 + drop_index)
+        sessions_before = server.active_sessions
+        outcome = login(device, server, _drop_nth(drop_index), "alice",
+                        BUTTON_XY, master, rng)
+        assert outcome.reason == "message-dropped"
+        # No dangling session key on the device.
+        assert not device.flock.has_session(server.domain)
+        if drop_index <= 1:
+            # Submission never reached the server: no session there either.
+            assert server.active_sessions == sessions_before
+
+    def test_retry_after_drop_succeeds(self, bound):
+        device, server, master = bound
+        rng = np.random.default_rng(50)
+        failed = login(device, server, _drop_nth(1), "alice", BUTTON_XY,
+                       master, rng)
+        assert not failed.success
+        retry = login(device, server, UntrustedChannel(), "alice",
+                      BUTTON_XY, master, rng)
+        assert retry.success, retry.reason
+        device.flock.close_session(server.domain)
+
+
+class TestRequestDrops:
+    def test_dropped_request_then_stale_nonce_recovery(self, world):
+        """A dropped request leaves the session alive; the server's nonce
+        is still outstanding, so the client's retry with the same nonce
+        succeeds — exactly how a lost-packet retry should behave."""
+        ca, device, server, master = world
+        rng = np.random.default_rng(60)
+        if not device.flock.flash.has_record(server.domain):
+            if server.account_key("alice") is not None:
+                server.reset_identity("alice", "pw")
+            assert register_device(device, server, UntrustedChannel(),
+                                   "alice", BUTTON_XY, master, rng).success
+        outcome = login(device, server, UntrustedChannel(), "alice",
+                        BUTTON_XY, master, rng)
+        assert outcome.success, outcome.reason
+        session = outcome.session
+
+        dropped = session_request(device, server, _drop_nth(0), session,
+                                  risk=0.0, rng=rng)
+        assert dropped.reason == "message-dropped"
+        assert server.session(session.session_id) is not None
+
+        retry = session_request(device, server, UntrustedChannel(), session,
+                                risk=0.0, rng=rng)
+        assert retry.success, retry.reason
+        device.flock.close_session(server.domain)

@@ -1,0 +1,99 @@
+"""Envelope canonical encoding and the untrusted channel."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Envelope, ProtocolError, UntrustedChannel, canonical_payload
+
+
+class TestCanonicalEncoding:
+    def test_field_order_irrelevant(self):
+        a = canonical_payload({"x": 1, "y": b"\x01", "z": "s"})
+        b = canonical_payload({"z": "s", "x": 1, "y": b"\x01"})
+        assert a == b
+
+    def test_mac_field_excluded(self):
+        with_mac = canonical_payload({"x": 1, "mac": b"\xff" * 32})
+        without = canonical_payload({"x": 1})
+        assert with_mac == without
+
+    def test_types_are_tagged(self):
+        # "1" the string and 1 the int must encode differently.
+        assert canonical_payload({"x": 1}) != canonical_payload({"x": "1"})
+        assert canonical_payload({"x": True}) != canonical_payload({"x": 1})
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            canonical_payload({"x": [1, 2]})
+
+    @given(st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+        st.one_of(st.integers(min_value=-10**6, max_value=10**6),
+                  st.binary(max_size=20),
+                  st.text(alphabet="xyz0189 ", max_size=20),
+                  st.booleans()),
+        max_size=6))
+    @settings(deadline=None, max_examples=50)
+    def test_deterministic(self, fields):
+        assert canonical_payload(fields) == canonical_payload(dict(fields))
+
+    def test_signed_bytes_covers_type_tag(self):
+        a = Envelope("type-a", {"x": 1})
+        b = Envelope("type-b", {"x": 1})
+        assert a.signed_bytes() != b.signed_bytes()
+
+    def test_require(self):
+        envelope = Envelope("t", {"x": 1})
+        envelope.require("x")
+        with pytest.raises(ProtocolError, match="missing"):
+            envelope.require("x", "y")
+
+    def test_copy_is_deep_enough(self):
+        envelope = Envelope("t", {"x": 1})
+        clone = envelope.copy()
+        clone.fields["x"] = 2
+        assert envelope.fields["x"] == 1
+
+
+class TestChannel:
+    def test_carries_and_logs(self):
+        channel = UntrustedChannel()
+        delivered = channel.send(Envelope("t", {"x": 1}), "to-server")
+        assert delivered.fields["x"] == 1
+        assert channel.message_count == 1
+        assert channel.bytes_to_server > 0
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            UntrustedChannel().send(Envelope("t"), "sideways")
+
+    def test_drop_hook(self):
+        channel = UntrustedChannel(drop_hook=lambda e, d: True)
+        assert channel.send(Envelope("t"), "to-device") is None
+        assert channel.message_count == 1  # logged even when dropped
+
+    def test_tamper_hook_modifies_delivery_not_log(self):
+        def tamper(envelope, direction):
+            envelope.fields["x"] = 999
+            return envelope
+
+        channel = UntrustedChannel(tamper_hook=tamper)
+        delivered = channel.send(Envelope("t", {"x": 1}), "to-server")
+        assert delivered.fields["x"] == 999
+        assert channel.log[0].envelope.fields["x"] == 1
+
+    def test_delivered_copy_is_isolated_from_sender(self):
+        channel = UntrustedChannel()
+        original = Envelope("t", {"x": 1})
+        delivered = channel.send(original, "to-server")
+        delivered.fields["x"] = 2
+        assert original.fields["x"] == 1
+
+    def test_recorded_filters(self):
+        channel = UntrustedChannel()
+        channel.send(Envelope("a"), "to-server")
+        channel.send(Envelope("b"), "to-device")
+        channel.send(Envelope("a"), "to-device")
+        assert len(channel.recorded("a")) == 2
+        assert len(channel.recorded(direction="to-device")) == 2
+        assert len(channel.recorded("a", "to-device")) == 1

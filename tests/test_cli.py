@@ -1,0 +1,37 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_sensors_command(self, capsys):
+        assert main(["sensors"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "160.0 ms" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--requests", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "login: ok" in out
+        assert "request 2: ok" in out
+
+    def test_audit_command(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "SUSPICIOUS" in out
+
+    def test_placement_command(self, capsys):
+        assert main(["placement", "--touches", "100", "--sensors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "capture rate" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,30 @@
+"""The README's code examples must actually work."""
+
+import numpy as np
+
+
+class TestReadmeQuickstart:
+    def test_sixty_second_api_taste(self):
+        """The '60-second taste of the API' block, verbatim semantics."""
+        from repro.eval import standard_deployment, LOGIN_BUTTON_XY
+        from repro.net import login, session_request
+
+        world = standard_deployment()
+        rng = np.random.default_rng(0)
+
+        outcome = login(world.device, world.server, world.channel,
+                        world.account, LOGIN_BUTTON_XY, world.user_master,
+                        rng)
+        assert outcome.success
+
+        result = session_request(world.device, world.server, world.channel,
+                                 outcome.session, risk=0.0, rng=rng,
+                                 touch_xy=LOGIN_BUTTON_XY,
+                                 master=world.user_master)
+        assert result.success
+        world.device.flock.close_session(world.server.domain)
+
+    def test_package_docstring_quickstart(self):
+        """The repro.__doc__ quickstart block."""
+        import repro
+        assert "standard_deployment" in repro.__doc__
