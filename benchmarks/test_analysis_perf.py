@@ -1,0 +1,41 @@
+"""TRUST-lint throughput — a full-tree pass must stay interactive.
+
+The analysis pass is a tier-1 gate (tests/analysis/test_self_clean.py),
+so it runs on every merge; this smoke check keeps it from quietly
+degrading into something nobody wants to run.  Budget: 10 s for the
+whole ``src/`` tree, which the AST-based engine clears by a wide margin.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+from .conftest import emit
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BUDGET_SECONDS = 10.0
+
+
+def test_full_tree_pass_under_budget():
+    src = REPO_ROOT / "src"
+    start = time.perf_counter()
+    report = analyze_paths([src])
+    elapsed = time.perf_counter() - start
+
+    per_file = elapsed / max(report.files_scanned, 1)
+    emit(
+        "analysis_perf",
+        "TRUST-lint full-tree pass\n"
+        f"  files scanned : {report.files_scanned}\n"
+        f"  findings      : {len(report.findings)}\n"
+        f"  wall time     : {elapsed * 1000:.1f} ms"
+        f"  ({per_file * 1000:.2f} ms/file)\n"
+        f"  budget        : {BUDGET_SECONDS:.0f} s",
+    )
+
+    assert report.parse_errors == []
+    assert elapsed < BUDGET_SECONDS, (
+        f"analysis pass took {elapsed:.1f}s (> {BUDGET_SECONDS}s budget)")

@@ -1,0 +1,56 @@
+"""TRUST-lint: AST-based static analysis enforcing the paper's invariants.
+
+The security argument of the paper is structural: FLock is a *trusted*
+module whose private keys and fingerprint templates never cross into
+host/browser code, all randomness feeding key material is cryptographically
+sound, and the only weak hash in the system (MD5) is confined to the
+frame-hash display path where collision resistance is not load-bearing.
+``repro.analysis`` turns those prose invariants into machine-checked rules
+that every refactor runs under:
+
+========  ===================================================================
+Rule      Invariant
+========  ===================================================================
+TB001     trust-boundary imports: the layering DAG of ``repro.*`` packages
+          (``repro.flock``/``repro.crypto`` may never import the untrusted
+          ``repro.net``/``repro.core``/``repro.baselines``/``repro.attacks``)
+SF101     secret-flow hygiene: secret-named identifiers must not reach
+          ``print``/logging sinks, exception messages or ``__repr__`` bodies
+          outside the trusted layers
+CD201     crypto discipline: no stdlib ``random`` inside ``repro.crypto`` or
+          ``repro.flock`` — key material comes from ``repro.crypto.rng``
+CD202     crypto discipline: no ``==``/``!=`` on secret-named byte values —
+          use ``repro.crypto.constant_time_equal``
+CD203     crypto discipline: MD5 only on the frame-hash display path
+RB301     robustness: no bare/broad ``except`` that swallows silently
+RB302     robustness: no mutable default arguments
+========  ===================================================================
+
+The package is self-contained (stdlib only; it may not import any other
+``repro`` package) and runs as ``python -m repro.analysis <paths>`` or via
+the ``repro-lint`` console script.  Findings can be suppressed inline with
+``# trust-lint: disable=RULE`` comments or grandfathered in a baseline file.
+"""
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .config import AnalysisConfig
+from .core import Finding, ModuleContext, Rule, all_rules, get_rule
+from .engine import AnalysisReport, analyze_paths, analyze_source
+from .reporters import render_json, render_text
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "render_json",
+    "render_text",
+]

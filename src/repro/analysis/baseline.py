@@ -1,0 +1,74 @@
+"""TRUST-lint baseline: grandfather existing findings, block new ones.
+
+A baseline file records the fingerprints of known findings so a rule can
+be introduced (or tightened) without first fixing every historic
+violation — while any *new* violation still fails the run.  Fingerprints
+hash (module, rule, stripped source line), so pure line motion does not
+invalidate a baseline but any edit to the offending line does.
+
+The repo's own policy is an *empty* baseline: ``python -m repro.analysis
+src`` must report zero findings at HEAD.  The mechanism exists for
+downstream forks and for staging future rules.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .core import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path | str) -> dict[str, int]:
+    """Fingerprint -> allowed count.  Missing file = empty baseline."""
+    path = Path(path)
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"in {path}")
+    entries = data.get("entries", {})
+    return {fp: int(entry.get("count", 1)) for fp, entry in entries.items()}
+
+
+def write_baseline(path: Path | str, findings: list[Finding]) -> None:
+    """Persist the given findings as the new baseline."""
+    counts: Counter[str] = Counter(f.fingerprint() for f in findings)
+    by_fp: dict[str, Finding] = {}
+    for finding in findings:
+        by_fp.setdefault(finding.fingerprint(), finding)
+    entries = {
+        fp: {
+            "rule": by_fp[fp].rule,
+            "module": by_fp[fp].module,
+            "line": by_fp[fp].source_line.strip(),
+            "count": counts[fp],
+        }
+        for fp in sorted(counts)
+    }
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: dict[str, int]) -> tuple[list[Finding], int]:
+    """Split findings into (new, number grandfathered by the baseline)."""
+    remaining = dict(baseline)
+    new_findings: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        fp = finding.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            baselined += 1
+        else:
+            new_findings.append(finding)
+    return new_findings, baselined

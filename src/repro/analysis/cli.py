@@ -1,0 +1,113 @@
+"""TRUST-lint command line: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit codes: 0 clean, 1 findings (or parse errors), 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from .baseline import load_baseline, write_baseline
+from .config import AnalysisConfig, find_pyproject
+from .core import get_rule
+from .engine import analyze_paths
+from .reporters import render_json, render_rule_list, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=("TRUST-lint: AST-based checks for the paper's "
+                     "trust-boundary, secret-hygiene and crypto-discipline "
+                     "invariants"),
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze (default: "
+                        "the [tool.trust-lint] paths, then 'src')")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                        "and exit 0")
+    parser.add_argument("--disable", metavar="RULES", default="",
+                        help="comma-separated rule ids to disable")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.trust-lint] in pyproject.toml")
+    return parser
+
+
+def _load_config(args: argparse.Namespace) -> AnalysisConfig:
+    if args.no_config:
+        config = AnalysisConfig.default()
+    else:
+        anchor = Path(args.paths[0]) if args.paths else Path.cwd()
+        pyproject = find_pyproject(anchor)
+        config = (AnalysisConfig.from_pyproject(pyproject)
+                  if pyproject is not None else AnalysisConfig.default())
+    if args.disable:
+        extra = tuple(r.strip() for r in args.disable.split(",") if r.strip())
+        for rule_id in extra:
+            get_rule(rule_id)  # reject typos loudly
+        config = replace(config,
+                         disabled_rules=config.disabled_rules + extra)
+    return config
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    try:
+        config = _load_config(args)
+    except (ValueError, OSError) as exc:
+        print(f"repro-lint: configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or list(config.default_paths)
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or config.baseline_path or None
+    baseline: dict[str, int] = {}
+    if baseline_path and not args.update_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"repro-lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+
+    report = analyze_paths(paths, config, baseline=baseline)
+
+    if args.update_baseline:
+        if not baseline_path:
+            print("repro-lint: --update-baseline needs --baseline FILE "
+                  "or a [tool.trust-lint] baseline setting", file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, report.findings)
+        print(f"baseline updated: {len(report.findings)} finding(s) "
+              f"recorded in {baseline_path}")
+        return 0
+
+    print(render_json(report) if args.format == "json"
+          else render_text(report))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""TRUST-lint configuration: the layering DAG and per-rule knobs.
+
+Everything the rules key on is declared here in one place — the allowed
+import edges between ``repro.*`` packages, the identifier patterns that
+count as secret, the modules allowed to touch MD5 — so that tightening an
+invariant is a one-line config change, reviewable on its own.
+
+Defaults can be overridden from a ``[tool.trust-lint]`` table in
+``pyproject.toml`` (see :meth:`AnalysisConfig.from_pyproject`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+__all__ = ["AnalysisConfig", "LAYERING", "find_pyproject"]
+
+
+#: The layering DAG: package -> packages it may import (besides itself and
+#: non-``repro`` code).  Packages absent from the map are unconstrained.
+#: Edges mirror DESIGN.md section 6 — most importantly, the trusted
+#: substrate (``repro.crypto``, ``repro.flock``) sits *below* the untrusted
+#: protocol/host layers and may never reach up into them.
+LAYERING: dict[str, frozenset[str]] = {
+    # Trusted substrate — strictly self-contained.
+    "repro.crypto": frozenset(),
+    "repro.analysis": frozenset(),
+    # Pure models below the trust boundary.
+    "repro.fingerprint": frozenset(),
+    "repro.hardware": frozenset({"repro.fingerprint"}),
+    "repro.touchgen": frozenset({"repro.hardware", "repro.fingerprint"}),
+    # The trusted module composes crypto + sensing, nothing above it.
+    "repro.flock": frozenset({
+        "repro.crypto", "repro.fingerprint", "repro.hardware",
+    }),
+    # Untrusted host/protocol layers.
+    "repro.net": frozenset({
+        "repro.crypto", "repro.fingerprint", "repro.flock", "repro.hardware",
+    }),
+    "repro.core": frozenset({
+        "repro.crypto", "repro.fingerprint", "repro.flock", "repro.hardware",
+        "repro.net", "repro.touchgen",
+    }),
+    "repro.eval": frozenset({
+        "repro.crypto", "repro.fingerprint", "repro.flock", "repro.hardware",
+        "repro.net", "repro.touchgen", "repro.core",
+    }),
+    "repro.baselines": frozenset({
+        "repro.crypto", "repro.fingerprint", "repro.hardware", "repro.net",
+        "repro.touchgen",
+    }),
+    "repro.attacks": frozenset({
+        "repro.baselines", "repro.core", "repro.crypto", "repro.eval",
+        "repro.fingerprint", "repro.flock", "repro.hardware", "repro.net",
+        "repro.touchgen",
+    }),
+}
+
+
+def _lower_tuple(values) -> tuple[str, ...]:
+    return tuple(str(v).lower() for v in values)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """One immutable bundle of every knob the rules read."""
+
+    #: Allowed import edges; see :data:`LAYERING`.
+    layering: dict[str, frozenset[str]] = field(
+        default_factory=lambda: dict(LAYERING))
+
+    #: Packages whose internals legitimately hold secrets; SF101 does not
+    #: fire inside them (the trusted boundary is what keeps them safe).
+    trusted_packages: tuple[str, ...] = ("repro.crypto", "repro.flock")
+
+    #: Identifier patterns (fnmatch, lowercased) that denote secret values.
+    secret_patterns: tuple[str, ...] = (
+        "*key*", "*template*", "minutiae*", "*seed*", "*secret*",
+        "*password*", "*private*",
+    )
+
+    #: Patterns that override :attr:`secret_patterns` — identifiers that
+    #: *look* secret but are public by construction (public keys, key sizes,
+    #: keystroke-dynamics features, ...).
+    public_patterns: tuple[str, ...] = (
+        "*public*", "*keystroke*", "*keyboard*", "keyword*",
+        "key_bits", "key_size", "key_len", "key_id", "*_key_id",
+        "n_template*", "template_id", "*template_count*",
+    )
+
+    #: Packages where stdlib ``random`` is banned outright (CD201).
+    rng_clean_packages: tuple[str, ...] = ("repro.crypto", "repro.flock")
+
+    #: Patterns for byte-valued names whose equality must be constant-time
+    #: (CD202).  Deliberately suffix-anchored: ``*key`` not ``*key*`` so
+    #: ``key_bits`` style size fields never match.
+    secret_bytes_patterns: tuple[str, ...] = (
+        "key", "*_key", "mac", "*_mac", "tag", "*_tag", "digest", "*digest",
+        "signature", "*_signature", "*secret*", "token", "*_token",
+        "*hmac*", "*password*",
+    )
+
+    #: Overrides for :attr:`secret_bytes_patterns` (public-by-construction).
+    bytes_public_patterns: tuple[str, ...] = (
+        "public_key", "*public_key",
+    )
+
+    #: Symbols that count as weak-hash use (CD203).
+    weak_hash_names: tuple[str, ...] = ("md5", "MD5", "md5_hex", "hmac_md5")
+
+    #: Modules allowed to reference MD5: the primitive itself, the HMAC
+    #: layer that wraps it for RFC test vectors, the crypto package surface,
+    #: and the frame-hash display path the paper scopes MD5 to.
+    weak_hash_allowed_modules: tuple[str, ...] = (
+        "repro.crypto", "repro.crypto.md5", "repro.crypto.mac",
+        "repro.flock.display",
+    )
+
+    #: Rule ids disabled wholesale.
+    disabled_rules: tuple[str, ...] = ()
+
+    #: Default paths scanned when the CLI is invoked without arguments.
+    default_paths: tuple[str, ...] = ("src",)
+
+    #: Default baseline file (empty string: no baseline).
+    baseline_path: str = ""
+
+    # ------------------------------------------------------------ matching
+    def is_secret_name(self, name: str) -> bool:
+        """Does ``name`` denote secret material (SF101)?"""
+        low = name.lower()
+        if any(fnmatchcase(low, p) for p in self.public_patterns):
+            return False
+        return any(fnmatchcase(low, p) for p in self.secret_patterns)
+
+    def is_secret_bytes_name(self, name: str) -> bool:
+        """Does ``name`` denote a secret byte string (CD202)?"""
+        low = name.lower()
+        if any(fnmatchcase(low, p) for p in self.bytes_public_patterns):
+            return False
+        return any(fnmatchcase(low, p) for p in self.secret_bytes_patterns)
+
+    def in_trusted_package(self, module: str) -> bool:
+        """Is ``module`` inside a trusted layer (SF101 exempt)?"""
+        return any(module == pkg or module.startswith(pkg + ".")
+                   for pkg in self.trusted_packages)
+
+    def in_rng_clean_package(self, module: str) -> bool:
+        """Is ``module`` inside a package where stdlib random is banned?"""
+        return any(module == pkg or module.startswith(pkg + ".")
+                   for pkg in self.rng_clean_packages)
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """Is the rule enabled under this config?"""
+        return rule_id not in self.disabled_rules
+
+    # ----------------------------------------------------------- overrides
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "AnalysisConfig":
+        """Default config overlaid with ``[tool.trust-lint]`` from a file.
+
+        Recognized keys: ``paths`` (list of str), ``disable`` (list of rule
+        ids), ``baseline`` (str), ``extend-secret-patterns``,
+        ``extend-public-patterns`` (lists of fnmatch patterns).  Unknown
+        keys are rejected so typos fail loudly.
+        """
+        import tomllib
+
+        with open(pyproject, "rb") as handle:
+            table = tomllib.load(handle)
+        section = table.get("tool", {}).get("trust-lint", {})
+        return cls.default().with_overrides(section)
+
+    def with_overrides(self, section: dict) -> "AnalysisConfig":
+        """Apply a ``[tool.trust-lint]``-shaped dict of overrides."""
+        known = {"paths", "disable", "baseline", "extend-secret-patterns",
+                 "extend-public-patterns"}
+        unknown = set(section) - known
+        if unknown:
+            raise ValueError(
+                f"unknown [tool.trust-lint] options: {sorted(unknown)}")
+        updates = {}
+        if "paths" in section:
+            updates["default_paths"] = tuple(str(p) for p in section["paths"])
+        if "disable" in section:
+            updates["disabled_rules"] = tuple(
+                str(r) for r in section["disable"])
+        if "baseline" in section:
+            updates["baseline_path"] = str(section["baseline"])
+        if "extend-secret-patterns" in section:
+            updates["secret_patterns"] = self.secret_patterns + _lower_tuple(
+                section["extend-secret-patterns"])
+        if "extend-public-patterns" in section:
+            updates["public_patterns"] = self.public_patterns + _lower_tuple(
+                section["extend-public-patterns"])
+        return replace(self, **updates)
+
+    @classmethod
+    def default(cls) -> "AnalysisConfig":
+        """The stock configuration encoding the paper's invariants."""
+        return cls()
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Walk up from ``start`` looking for a ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None

@@ -1,0 +1,133 @@
+"""TRUST-lint engine: discover files, run rules, filter findings.
+
+The engine owns everything between "a list of paths" and "a list of
+findings": Python-file discovery, dotted-module-name recovery (walking up
+``__init__.py`` markers so rules see ``repro.net.webserver`` regardless of
+where the tree is checked out), rule execution, suppression filtering and
+baseline subtraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import apply_baseline
+from .config import AnalysisConfig
+from .core import Finding, ModuleContext, all_rules
+
+__all__ = ["AnalysisReport", "analyze_paths", "analyze_source",
+           "module_name_for"]
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed_count: int = 0
+    baselined_count: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No new findings and every file parsed."""
+        return not self.findings and not self.parse_errors
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            files.add(path)
+    return sorted(files)
+
+
+def module_name_for(path: Path) -> tuple[str, bool]:
+    """(dotted module name, is_package) for a file on disk.
+
+    Walks up while ``__init__.py`` siblings exist, so
+    ``src/repro/net/webserver.py`` maps to ``repro.net.webserver`` no
+    matter what the checkout prefix is.  Files outside any package map to
+    their bare stem.
+    """
+    resolved = path.resolve()
+    is_package = resolved.name == "__init__.py"
+    parts: list[str] = [] if is_package else [resolved.stem]
+    current = resolved.parent
+    while (current / "__init__.py").is_file():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return ".".join(parts) or resolved.stem, is_package
+
+
+def analyze_paths(paths: list[Path] | list[str],
+                  config: AnalysisConfig | None = None,
+                  baseline: dict[str, int] | None = None) -> AnalysisReport:
+    """Run every enabled rule over the Python files under ``paths``."""
+    config = config if config is not None else AnalysisConfig.default()
+    report = AnalysisReport()
+    rules = [rule for rule in all_rules() if config.rule_enabled(rule.id)]
+    raw_findings: list[Finding] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        display = _display_path(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.parse_errors.append((display, f"unreadable: {exc}"))
+            continue
+        module, is_package = module_name_for(file_path)
+        try:
+            ctx = ModuleContext.build(file_path, display, module, source,
+                                      is_package=is_package)
+        except SyntaxError as exc:
+            report.parse_errors.append((display, f"syntax error: {exc.msg} "
+                                        f"(line {exc.lineno})"))
+            continue
+        report.files_scanned += 1
+        for rule in rules:
+            for finding in rule.check(ctx, config):
+                if ctx.is_suppressed(finding.rule, finding.line):
+                    report.suppressed_count += 1
+                else:
+                    raw_findings.append(finding)
+    raw_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if baseline:
+        new_findings, baselined = apply_baseline(raw_findings, baseline)
+        report.findings = new_findings
+        report.baselined_count = baselined
+    else:
+        report.findings = raw_findings
+    return report
+
+
+def analyze_source(source: str, module: str = "snippet",
+                   config: AnalysisConfig | None = None,
+                   is_package: bool = False) -> list[Finding]:
+    """Run the rules over one in-memory snippet (test/fixture entry point)."""
+    config = config if config is not None else AnalysisConfig.default()
+    ctx = ModuleContext.build(Path(f"{module}.py"), f"{module}.py", module,
+                              source, is_package=is_package)
+    findings: list[Finding] = []
+    for rule in all_rules():
+        if not config.rule_enabled(rule.id):
+            continue
+        for finding in rule.check(ctx, config):
+            if not ctx.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)

@@ -1,0 +1,74 @@
+"""TRUST-lint reporters: render an AnalysisReport for humans or machines."""
+
+from __future__ import annotations
+
+import json
+
+from .core import all_rules
+from .engine import AnalysisReport
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+
+def render_text(report: AnalysisReport) -> str:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines: list[str] = []
+    for display, message in report.parse_errors:
+        lines.append(f"{display}: PARSE {message}")
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        snippet = finding.source_line.strip()
+        if snippet:
+            lines.append(f"    {snippet}")
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_scanned} "
+        f"file(s)"
+    )
+    extras = []
+    if report.suppressed_count:
+        extras.append(f"{report.suppressed_count} suppressed")
+    if report.baselined_count:
+        extras.append(f"{report.baselined_count} baselined")
+    if report.parse_errors:
+        extras.append(f"{len(report.parse_errors)} unparseable")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Stable machine-readable rendering (one JSON document)."""
+    payload = {
+        "version": 1,
+        "clean": report.clean,
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed_count,
+        "baselined": report.baselined_count,
+        "parse_errors": [
+            {"path": display, "message": message}
+            for display, message in report.parse_errors
+        ],
+        "findings": [
+            {
+                "rule": finding.rule,
+                "message": finding.message,
+                "path": finding.path,
+                "module": finding.module,
+                "line": finding.line,
+                "col": finding.col,
+                "fingerprint": finding.fingerprint(),
+            }
+            for finding in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The registered rule set, one line per rule."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"       {rule.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,3 @@
+"""Rule modules; importing this package populates the registry."""
+
+from . import boundaries, crypto_discipline, robustness, secrets  # noqa: F401

@@ -1,0 +1,116 @@
+"""RB3xx — robustness rules.
+
+RB301: a bare ``except:`` or broad ``except Exception:`` whose body
+neither re-raises nor logs converts attacker-reachable errors into
+silent state corruption — the exact failure mode the protocol layer's
+stable reason codes exist to prevent.  Handlers that re-raise (narrowing
+to a domain error) or log before continuing are fine; bare ``except:``
+is flagged unconditionally because it also swallows
+``KeyboardInterrupt``/``SystemExit``.
+
+RB302: mutable default arguments are evaluated once at ``def`` time and
+shared across calls; in a server holding per-account state that is a
+cross-account data-bleed bug waiting to happen.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import AnalysisConfig
+from ..core import Finding, ModuleContext, Rule, register, terminal_name
+
+__all__ = ["SwallowedBroadException", "MutableDefaultArgument"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_LOGGING_ATTRS = frozenset({
+    "debug", "info", "warning", "warn", "error", "exception", "critical",
+    "log",
+})
+
+
+def _is_broad(handler_type: ast.expr | None) -> bool:
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(elt) for elt in handler_type.elts)
+    return False
+
+
+def _body_handles(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body re-raise or log what it caught?"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _LOGGING_ATTRS:
+                return True
+            name = terminal_name(func)
+            if name is not None and ("log" in name.lower()
+                                     or "audit" in name.lower()):
+                return True
+    return False
+
+
+@register
+class SwallowedBroadException(Rule):
+    id = "RB301"
+    name = "swallowed-broad-exception"
+    summary = ("bare/broad except blocks must re-raise or log; silent "
+               "swallowing hides attacker-reachable failures")
+
+    def check(self, ctx: ModuleContext,
+              config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self.id, node,
+                    "bare 'except:' also swallows KeyboardInterrupt/"
+                    "SystemExit; catch a specific exception type")
+                continue
+            if _is_broad(node.type) and not _body_handles(node):
+                yield ctx.finding(
+                    self.id, node,
+                    "broad 'except Exception' swallows errors without "
+                    "re-raising or logging; narrow the type or handle "
+                    "the failure visibly")
+
+
+@register
+class MutableDefaultArgument(Rule):
+    id = "RB302"
+    name = "mutable-default-argument"
+    summary = ("mutable default arguments are shared across calls; "
+               "default to None and construct inside the function")
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check(self, ctx: ModuleContext,
+              config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults,
+                        *(d for d in node.args.kw_defaults if d is not None)]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield ctx.finding(
+                        self.id, default,
+                        f"mutable default argument in {label!r} is "
+                        "evaluated once and shared across calls")
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._MUTABLE_CALLS
+        return False

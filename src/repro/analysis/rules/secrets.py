@@ -1,0 +1,156 @@
+"""SF101 — secret-flow hygiene: secrets must not reach observable sinks.
+
+Outside the trusted layers, an identifier whose name marks it as secret
+material (keys, fingerprint templates, minutiae, seeds, passwords) must
+never be passed to ``print``, a logging call, a ``warnings.warn``, an
+exception message, or interpolated inside a ``__repr__``/``__str__`` body.
+A server operator reading logs — or an attacker reading a traceback — is
+outside the paper's threat-model guarantees, so these sinks are one-way
+doors out of the system.
+
+The rule is deliberately *direct*: only a bare ``Name`` or terminal
+``Attribute`` flowing into a sink fires (``f"{session_key}"`` — yes;
+``f"{len(minutiae)}"`` — no, a count is not the secret).  Statically
+deciding the latter class would drown the signal in false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import AnalysisConfig
+from ..core import Finding, ModuleContext, Rule, register, terminal_name
+
+__all__ = ["SecretFlowHygiene"]
+
+_LOG_METHODS = frozenset({
+    "debug", "info", "warning", "warn", "error", "exception", "critical",
+    "log",
+})
+_LOG_BASES = frozenset({"logging", "logger", "log", "_logger", "_log"})
+_REPR_METHODS = frozenset({"__repr__", "__str__", "__format__"})
+
+
+def _secret_in_expr(node: ast.expr, config: AnalysisConfig) -> str | None:
+    """Secret name if ``node`` is directly a secret Name/Attribute."""
+    name = terminal_name(node)
+    if name is not None and config.is_secret_name(name):
+        return name
+    return None
+
+
+def _secrets_in_fstring(node: ast.expr,
+                        config: AnalysisConfig) -> Iterator[tuple[ast.expr, str]]:
+    """(node, name) for each direct secret interpolated in an f-string."""
+    if not isinstance(node, ast.JoinedStr):
+        return
+    for value in node.values:
+        if isinstance(value, ast.FormattedValue):
+            name = _secret_in_expr(value.value, config)
+            if name is not None:
+                yield value.value, name
+
+
+def _is_logging_call(func: ast.expr) -> bool:
+    if isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS:
+        base = terminal_name(func.value)
+        return base is not None and base.lower() in _LOG_BASES
+    return False
+
+
+@register
+class SecretFlowHygiene(Rule):
+    id = "SF101"
+    name = "secret-flow-hygiene"
+    summary = ("secret-named identifiers must not reach print/logging "
+               "sinks, exception messages or __repr__ bodies outside the "
+               "trusted layers")
+
+    def check(self, ctx: ModuleContext,
+              config: AnalysisConfig) -> Iterator[Finding]:
+        if config.in_trusted_package(ctx.module):
+            return
+        yield from self._check_calls(ctx, config)
+        yield from self._check_raises(ctx, config)
+        yield from self._check_repr_methods(ctx, config)
+
+    # ------------------------------------------------------- print/logging
+    def _check_calls(self, ctx: ModuleContext,
+                     config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = None
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                sink = "print()"
+            elif _is_logging_call(node.func):
+                sink = f"logging call .{node.func.attr}()"
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "warn"
+                  and terminal_name(node.func.value) == "warnings"):
+                sink = "warnings.warn()"
+            if sink is None:
+                continue
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                yield from self._flag_arg(ctx, config, arg, sink)
+
+    def _flag_arg(self, ctx: ModuleContext, config: AnalysisConfig,
+                  arg: ast.expr, sink: str) -> Iterator[Finding]:
+        name = _secret_in_expr(arg, config)
+        if name is not None:
+            yield ctx.finding(
+                self.id, arg,
+                f"secret-named identifier {name!r} passed to {sink}")
+        for sub, sub_name in _secrets_in_fstring(arg, config):
+            yield ctx.finding(
+                self.id, sub,
+                f"secret-named identifier {sub_name!r} interpolated into "
+                f"an f-string passed to {sink}")
+
+    # --------------------------------------------------- exception messages
+    def _check_raises(self, ctx: ModuleContext,
+                      config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            if not isinstance(node.exc, ast.Call):
+                continue
+            for arg in node.exc.args:
+                name = _secret_in_expr(arg, config)
+                if name is not None:
+                    yield ctx.finding(
+                        self.id, arg,
+                        f"secret-named identifier {name!r} used as an "
+                        "exception message (tracebacks leave the trust "
+                        "boundary)")
+                for sub, sub_name in _secrets_in_fstring(arg, config):
+                    yield ctx.finding(
+                        self.id, sub,
+                        f"secret-named identifier {sub_name!r} interpolated "
+                        "into an exception message (tracebacks leave the "
+                        "trust boundary)")
+
+    # ------------------------------------------------------ __repr__ bodies
+    def _check_repr_methods(self, ctx: ModuleContext,
+                            config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in _REPR_METHODS:
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.JoinedStr):
+                    for inner, name in _secrets_in_fstring(sub, config):
+                        yield ctx.finding(
+                            self.id, inner,
+                            f"secret-named identifier {name!r} interpolated "
+                            f"inside {node.name} (reprs end up in logs and "
+                            "debuggers)")
+                elif isinstance(sub, ast.Return) and sub.value is not None:
+                    name = _secret_in_expr(sub.value, config)
+                    if name is not None:
+                        yield ctx.finding(
+                            self.id, sub.value,
+                            f"secret-named identifier {name!r} returned "
+                            f"from {node.name}")

@@ -70,8 +70,8 @@ def key_substitution_attack(device: MobileDevice, server: WebServer,
     channel = UntrustedChannel(tamper_hook=tamper)
     outcome = register_device(device, server, channel, account, button_xy,
                               master, rng)
-    bound_key = server.account_key(account)
-    hijacked = bound_key == attacker_key.public_key
+    bound_public_key = server.account_key(account)
+    hijacked = bound_public_key == attacker_key.public_key
     return AttackResult(
         name="mitm-key-substitution",
         succeeded=hijacked,

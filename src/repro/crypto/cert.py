@@ -71,7 +71,12 @@ class Certificate:
             return cls._from_bytes_unchecked(data)
         except CertificateError:
             raise
-        except Exception as exc:
+        except (ValueError, IndexError, TypeError) as exc:
+            # The audited failure modes of the raw parser: ValueError
+            # covers bad UTF-8 (UnicodeDecodeError) and the hardened
+            # RsaPublicKey.from_bytes; IndexError/TypeError cover byte
+            # indexing and non-bytes input.  Anything else is a real bug
+            # and must surface, not be masked as a corrupt certificate.
             raise CertificateError(f"certificate encoding corrupt: {exc}") \
                 from exc
 

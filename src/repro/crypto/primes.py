@@ -7,8 +7,6 @@ is benchmarked as part of E8.
 
 from __future__ import annotations
 
-import random
-
 from .rng import HmacDrbg
 
 __all__ = ["is_probable_prime", "generate_prime"]
@@ -22,14 +20,51 @@ _SMALL_PRIMES = (
 )
 
 
-def is_probable_prime(n: int, rng: HmacDrbg, rounds: int = 40) -> bool:
-    """Miller-Rabin primality test with ``rounds`` pseudo-random witnesses.
+def _strong_probable_prime(n: int, a: int, d: int, r: int) -> bool:
+    """One Miller-Rabin round: is ``n`` a strong probable prime to base ``a``?"""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = pow(x, 2, n)
+        if x == n - 1:
+            return True
+    return False
 
-    Witness bases are drawn from a fast non-cryptographic PRNG seeded once
-    from the caller's DRBG: the *soundness* of Miller-Rabin needs witnesses
-    an adversary cannot predict relative to ``n``, not full cryptographic
-    randomness, and drawing 40 DRBG integers per candidate would dominate
-    key-generation time (the DRBG runs on pure-Python SHA-256).
+
+def _drbg_witnesses(n: int, rng: HmacDrbg, count: int) -> list[int]:
+    """``count`` unpredictable Miller-Rabin bases in [2, n-2] from the DRBG.
+
+    All bases come from one batched ``generate`` call (per-call overhead on
+    the pure-Python DRBG dwarfs the per-byte cost).  Each base is reduced
+    modulo the range from 64 extra bits of DRBG output, so the bias versus
+    uniform is below 2^-64 — irrelevant for witness selection, which only
+    needs unpredictability relative to ``n``.
+    """
+    span = n - 3  # bases drawn from [2, n - 2]
+    n_bytes = (n.bit_length() + 7) // 8 + 8
+    witnesses: list[int] = []
+    remaining = count
+    per_call = max(HmacDrbg.MAX_REQUEST // n_bytes, 1)
+    while remaining > 0:
+        m = min(remaining, per_call)
+        block = rng.generate(m * n_bytes)
+        for i in range(m):
+            x = int.from_bytes(block[i * n_bytes:(i + 1) * n_bytes], "big")
+            witnesses.append(2 + x % span)
+        remaining -= m
+    return witnesses
+
+
+def is_probable_prime(n: int, rng: HmacDrbg, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with ``rounds`` unpredictable witnesses.
+
+    The first round always uses base 2: it is deterministic, costs no DRBG
+    output, and eliminates virtually every composite candidate — so the
+    (comparatively slow, pure-Python) DRBG is only consulted for candidates
+    that are almost certainly prime.  The remaining ``rounds - 1`` witness
+    bases are drawn from the caller's DRBG, keeping prime generation both
+    cryptographically sound and bit-for-bit reproducible from the seed.
     """
     if n < 2:
         return False
@@ -46,17 +81,10 @@ def is_probable_prime(n: int, rng: HmacDrbg, rounds: int = 40) -> bool:
         d //= 2
         r += 1
 
-    witness_rng = random.Random(int.from_bytes(rng.generate(8), "big"))
-    for _ in range(rounds):
-        a = witness_rng.randrange(2, n - 1)
-        x = pow(a, d, n)
-        if x in (1, n - 1):
-            continue
-        for _ in range(r - 1):
-            x = pow(x, 2, n)
-            if x == n - 1:
-                break
-        else:
+    if not _strong_probable_prime(n, 2, d, r):
+        return False
+    for a in _drbg_witnesses(n, rng, rounds - 1):
+        if not _strong_probable_prime(n, a, d, r):
             return False
     return True
 

@@ -111,12 +111,28 @@ class RsaPublicKey:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "RsaPublicKey":
-        """Parse a public key from its wire serialization."""
+        """Parse a public key from its wire serialization.
+
+        Wire input is attacker-controlled; every malformation — wrong type,
+        truncation, zero components — raises :class:`ValueError` so callers
+        can catch one narrow exception type instead of ``Exception``.
+        """
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise ValueError("public key encoding must be bytes")
+        data = bytes(data)
+        if len(data) < 4:
+            raise ValueError("truncated public key encoding")
         n_len = int.from_bytes(data[:4], "big")
-        n = _os2ip(data[4:4 + n_len])
         offset = 4 + n_len
+        if len(data) < offset + 4:
+            raise ValueError("truncated public key modulus")
+        n = _os2ip(data[4:offset])
         e_len = int.from_bytes(data[offset:offset + 4], "big")
+        if len(data) < offset + 4 + e_len:
+            raise ValueError("truncated public key exponent")
         e = _os2ip(data[offset + 4:offset + 4 + e_len])
+        if n <= 0 or e <= 0:
+            raise ValueError("degenerate public key component")
         return cls(n=n, e=e)
 
 

@@ -23,6 +23,7 @@ from .fingerprint_processor import (
 from .crypto_processor import CryptoOpCosts, CryptoProcessor
 from .module import FlockError, FlockModule, TouchAuthEvent
 from .host_interface import HostCommandError, HostCommandRecord, HostInterface
+from .rng import SimulationRng
 
 __all__ = [
     "ProtectedFlash", "PublicServiceView", "ServiceRecord", "SramModel",
@@ -33,4 +34,5 @@ __all__ = [
     "CryptoOpCosts", "CryptoProcessor",
     "FlockError", "FlockModule", "TouchAuthEvent",
     "HostCommandError", "HostCommandRecord", "HostInterface",
+    "SimulationRng",
 ]

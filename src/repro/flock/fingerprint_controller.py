@@ -28,6 +28,7 @@ from repro.hardware import (
     SensorArray,
     SensorLayout,
 )
+from .rng import SimulationRng
 
 __all__ = ["TouchCapture", "FingerprintController"]
 
@@ -72,7 +73,7 @@ class FingerprintController:
                                      margin_mm=self.margin_mm)
 
     def capture(self, touch: LocatedTouch, master: MasterFingerprint,
-                rng: np.random.Generator) -> TouchCapture | None:
+                rng: SimulationRng) -> TouchCapture | None:
         """Opportunistically capture the fingerprint under a touch.
 
         Returns None when no sensor covers the touch (the controller "keeps

@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.fingerprint import (
     CalibratedScoreModel,
     FingerprintTemplate,
@@ -32,6 +30,7 @@ from repro.fingerprint import (
 )
 from repro.fingerprint.enhancement import minutiae_with_enhancement
 from .fingerprint_controller import TouchCapture
+from .rng import SimulationRng
 
 __all__ = [
     "AuthDecision",
@@ -106,7 +105,7 @@ class ImageFingerprintProcessor:
         self.templates.append(template)
 
     def authenticate(self, capture: TouchCapture,
-                     rng: np.random.Generator) -> AuthDecision:
+                     rng: SimulationRng) -> AuthDecision:
         """Gate on quality, then extract and match against every template.
         ``rng`` unused here (signature shared with the modeled processor)."""
         quality_ok, report = self.gate.evaluate(capture.impression)
@@ -171,7 +170,7 @@ class ModeledFingerprintProcessor:
         self.quality_threshold = float(quality_threshold)
 
     def authenticate(self, capture: TouchCapture,
-                     rng: np.random.Generator) -> AuthDecision:
+                     rng: SimulationRng) -> AuthDecision:
         """Quality-gate and score one capture against the model."""
         report = assess_quality(capture.impression)
         extraction_time = capture.hardware.cells_sensed / EXTRACTION_CELLS_PER_S

@@ -13,8 +13,6 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.crypto import (
     Certificate,
     CertificateError,
@@ -34,6 +32,7 @@ from .fingerprint_processor import (
     ImageFingerprintProcessor,
     ModeledFingerprintProcessor,
 )
+from .rng import SimulationRng
 from .storage import ProtectedFlash, PublicServiceView, ServiceRecord, SramModel, StorageError
 
 __all__ = ["FlockError", "TouchAuthEvent", "FlockModule"]
@@ -156,7 +155,7 @@ class FlockModule:
 
     # -------------------------------------------------- the Fig. 6 pipeline
     def handle_touch(self, touch: LocatedTouch, master: MasterFingerprint,
-                     rng: np.random.Generator) -> TouchAuthEvent:
+                     rng: SimulationRng) -> TouchAuthEvent:
         """Run one touch through capture -> quality -> match.
 
         ``master`` is the ground-truth finger physically touching the panel

@@ -1,0 +1,53 @@
+"""The RNG the host injects into FLock's *physics* simulation.
+
+Two kinds of randomness meet inside the module and must never be
+confused:
+
+- **Key material** comes exclusively from the module's own
+  :class:`repro.crypto.HmacDrbg` (the stand-in for the ASIC's TRNG).
+  TRUST-lint rule CD201 bans stdlib ``random`` here outright.
+- **Physical noise** — where the fingertip lands, sensor noise, modeled
+  match scores — is part of the *simulation*, not the device, so the host
+  harness injects it per experiment for reproducibility.
+
+:class:`SimulationRng` is the structural type of that injected generator:
+the subset of the ``numpy.random.Generator`` API the FLock data path and
+its downstream fingerprint models actually draw from.  Any
+``numpy.random.default_rng(seed)`` instance satisfies it; tests can
+substitute a recorded or constant generator.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["SimulationRng"]
+
+
+@runtime_checkable
+class SimulationRng(Protocol):
+    """Structural protocol for the injected simulation generator."""
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        """Uniform floats in [low, high)."""
+        ...
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+        """Gaussian samples."""
+        ...
+
+    def standard_normal(self, size=None):
+        """Standard-normal samples."""
+        ...
+
+    def random(self, size=None):
+        """Uniform floats in [0, 1)."""
+        ...
+
+    def integers(self, low, high=None, size=None):
+        """Uniform integers."""
+        ...
+
+    def beta(self, a: float, b: float, size=None):
+        """Beta-distributed samples (calibrated score models)."""
+        ...

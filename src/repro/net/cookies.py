@@ -50,28 +50,37 @@ def _decode_value(encoded: str):
     try:
         # validate=True: reject non-alphabet bytes instead of silently
         # discarding them (the default lenient mode would mask tampering).
+        # binascii.Error (bad alphabet/padding) and the UnicodeEncodeError
+        # from non-ASCII input are both ValueError subclasses.
         raw = base64.b64decode(payload.encode("ascii"), altchars=b"-_",
                                validate=True)
-    except Exception as exc:
+    except ValueError as exc:
         raise ProtocolError("malformed-cookie", str(exc)) from exc
     if tag == "b":
         return raw
     if tag == "B":
         return raw == b"1"
-    if tag == "i":
-        return int(raw.decode("ascii"))
-    if tag == "f":
-        return float(raw.decode("ascii"))
-    return raw.decode("utf-8")
+    try:
+        # int/float/utf-8 conversions of attacker bytes raise ValueError
+        # subclasses (incl. UnicodeDecodeError); surface them all as the
+        # protocol-level reject, never a crash.
+        if tag == "i":
+            return int(raw.decode("ascii"))
+        if tag == "f":
+            return float(raw.decode("ascii"))
+        return raw.decode("utf-8")
+    except ValueError as exc:
+        raise ProtocolError("malformed-cookie", str(exc)) from exc
 
 
 def encode_cookie(envelope: Envelope) -> str:
     """Render an envelope as one ``Cookie:`` header value."""
     parts = [f"{_PREFIX}type={_encode_value(envelope.msg_type)}"]
-    for key in sorted(envelope.fields):
-        if "=" in key or ";" in key or " " in key:
-            raise ValueError(f"field name {key!r} not cookie-safe")
-        parts.append(f"{_PREFIX}{key}={_encode_value(envelope.fields[key])}")
+    for field_name in sorted(envelope.fields):
+        if "=" in field_name or ";" in field_name or " " in field_name:
+            raise ValueError(f"field name {field_name!r} not cookie-safe")
+        parts.append(
+            f"{_PREFIX}{field_name}={_encode_value(envelope.fields[field_name])}")
     return "; ".join(parts)
 
 

@@ -179,9 +179,11 @@ class WebServer:
             raise self._reject("bad-mac", "registration signature invalid")
 
         try:
+            # from_bytes validates type and framing, raising ValueError on
+            # any malformation — no broader net is needed here.
             user_key = RsaPublicKey.from_bytes(
                 envelope.fields["user_public_key"])
-        except Exception as exc:
+        except ValueError as exc:
             raise self._reject("malformed-message",
                                f"unparseable public key: {exc}") from exc
         self._accounts[account] = _AccountRecord(

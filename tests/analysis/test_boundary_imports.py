@@ -1,0 +1,86 @@
+"""TB001 — trust-boundary import rule fixtures."""
+
+from .conftest import rule_ids
+
+
+class TestBoundaryViolations:
+    def test_crypto_importing_net_is_flagged(self, lint):
+        findings = lint("from repro.net import webserver\n",
+                        module="repro.crypto.badmod")
+        assert rule_ids(findings) == ["TB001"]
+        assert "repro.net" in findings[0].message
+
+    def test_flock_importing_core_is_flagged(self, lint):
+        findings = lint("import repro.core.policy\n",
+                        module="repro.flock.badmod")
+        assert rule_ids(findings) == ["TB001"]
+
+    def test_flock_importing_attacks_is_flagged(self, lint):
+        findings = lint("from repro.attacks.replay import replay_attack\n",
+                        module="repro.flock.badmod")
+        assert rule_ids(findings) == ["TB001"]
+
+    def test_crypto_importing_baselines_is_flagged(self, lint):
+        findings = lint("from repro import baselines\n",
+                        module="repro.crypto.badmod")
+        assert rule_ids(findings) == ["TB001"]
+
+    def test_relative_escape_is_flagged(self, lint):
+        # ``from ..net import channel`` inside repro.flock reaches upward.
+        findings = lint("from ..net import channel\n",
+                        module="repro.flock.badmod")
+        assert rule_ids(findings) == ["TB001"]
+
+    def test_net_importing_core_is_flagged(self, lint):
+        # net sits below core in the DAG; the reverse edge is the only
+        # allowed direction.
+        findings = lint("from repro.core import pipeline\n",
+                        module="repro.net.badmod")
+        assert rule_ids(findings) == ["TB001"]
+
+
+class TestBoundaryAllowed:
+    def test_flock_importing_crypto_is_clean(self, lint):
+        findings = lint(
+            "from repro.crypto import HmacDrbg\n"
+            "from repro.fingerprint import FingerprintTemplate\n"
+            "from repro.hardware import SensorLayout\n",
+            module="repro.flock.goodmod")
+        assert findings == []
+
+    def test_intra_package_imports_are_clean(self, lint):
+        findings = lint("from .rng import HmacDrbg\n",
+                        module="repro.crypto.goodmod")
+        assert findings == []
+
+    def test_package_init_relative_import_is_clean(self, lint):
+        # ``from .sha256 import sha256`` inside repro/crypto/__init__.py
+        # refers to repro.crypto.sha256, not repro.sha256.
+        findings = lint("from .sha256 import sha256\n",
+                        module="repro.crypto", is_package=True)
+        assert findings == []
+
+    def test_unconstrained_package_is_clean(self, lint):
+        findings = lint("from repro.net import WebServer\n",
+                        module="scripts.tooling")
+        assert findings == []
+
+    def test_stdlib_and_third_party_are_clean(self, lint):
+        findings = lint("import json\nimport numpy as np\n",
+                        module="repro.crypto.goodmod")
+        assert findings == []
+
+
+class TestBoundarySuppression:
+    def test_inline_suppression(self, lint):
+        findings = lint(
+            "from repro.net import webserver  # trust-lint: disable=TB001\n",
+            module="repro.crypto.badmod")
+        assert findings == []
+
+    def test_file_suppression(self, lint):
+        findings = lint(
+            "# trust-lint: disable-file=TB001\n"
+            "from repro.net import webserver\n",
+            module="repro.crypto.badmod")
+        assert findings == []

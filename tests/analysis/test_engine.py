@@ -1,0 +1,188 @@
+"""Engine behaviour: file discovery, module naming, baselines, config."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    analyze_paths,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import module_name_for
+
+
+def _write_pkg(root: Path, dotted: str, name: str, source: str) -> Path:
+    """Create a package chain ``dotted`` and drop ``name.py`` inside it."""
+    current = root
+    for part in dotted.split("."):
+        current = current / part
+        current.mkdir(exist_ok=True)
+        (current / "__init__.py").touch()
+    path = current / f"{name}.py"
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestModuleNaming:
+    def test_nested_module(self, tmp_path):
+        path = _write_pkg(tmp_path, "repro.net", "webserver", "x = 1\n")
+        module, is_package = module_name_for(path)
+        assert module == "repro.net.webserver"
+        assert not is_package
+
+    def test_package_init(self, tmp_path):
+        _write_pkg(tmp_path, "repro.crypto", "rng", "x = 1\n")
+        module, is_package = module_name_for(
+            tmp_path / "repro" / "crypto" / "__init__.py")
+        assert module == "repro.crypto"
+        assert is_package
+
+    def test_bare_script(self, tmp_path):
+        path = tmp_path / "script.py"
+        path.write_text("x = 1\n")
+        module, is_package = module_name_for(path)
+        assert module == "script"
+        assert not is_package
+
+
+class TestAnalyzePaths:
+    def test_violations_found_across_tree(self, tmp_path):
+        _write_pkg(tmp_path, "repro.crypto", "badmod", "import random\n")
+        _write_pkg(tmp_path, "repro.net", "leaky", "print(session_key)\n")
+        report = analyze_paths([tmp_path])
+        assert sorted(f.rule for f in report.findings) == ["CD201", "SF101"]
+        assert report.files_scanned >= 2
+        assert not report.clean
+
+    def test_clean_tree(self, tmp_path):
+        _write_pkg(tmp_path, "repro.net", "goodmod", "x = 1\n")
+        report = analyze_paths([tmp_path])
+        assert report.clean
+        assert report.findings == []
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        _write_pkg(tmp_path, "repro.net", "broken", "def f(:\n")
+        report = analyze_paths([tmp_path])
+        assert not report.clean
+        assert len(report.parse_errors) == 1
+
+    def test_suppressed_findings_are_counted(self, tmp_path):
+        _write_pkg(tmp_path, "repro.crypto", "badmod",
+                   "import random  # trust-lint: disable=CD201\n")
+        report = analyze_paths([tmp_path])
+        assert report.clean
+        assert report.suppressed_count == 1
+
+    def test_disabled_rule_does_not_run(self, tmp_path):
+        _write_pkg(tmp_path, "repro.crypto", "badmod", "import random\n")
+        config = AnalysisConfig(disabled_rules=("CD201",))
+        report = analyze_paths([tmp_path], config)
+        assert report.clean
+
+
+class TestBaseline:
+    def test_baseline_grandfathers_existing_findings(self, tmp_path):
+        _write_pkg(tmp_path, "repro.crypto", "badmod", "import random\n")
+        first = analyze_paths([tmp_path])
+        assert len(first.findings) == 1
+
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, first.findings)
+        baseline = load_baseline(baseline_file)
+
+        second = analyze_paths([tmp_path], baseline=baseline)
+        assert second.clean
+        assert second.baselined_count == 1
+
+    def test_new_finding_not_covered_by_baseline(self, tmp_path):
+        path = _write_pkg(tmp_path, "repro.crypto", "badmod",
+                          "import random\n")
+        first = analyze_paths([tmp_path])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, first.findings)
+
+        path.write_text("import random\nfrom random import randrange\n")
+        report = analyze_paths([tmp_path],
+                               baseline=load_baseline(baseline_file))
+        assert len(report.findings) == 1  # only the new line
+        assert report.baselined_count == 1
+
+    def test_fingerprint_survives_line_motion(self, tmp_path):
+        path = _write_pkg(tmp_path, "repro.crypto", "badmod",
+                          "import random\n")
+        first = analyze_paths([tmp_path])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, first.findings)
+
+        path.write_text("# a new leading comment\nimport random\n")
+        report = analyze_paths([tmp_path],
+                               baseline=load_baseline(baseline_file))
+        assert report.clean
+        assert report.baselined_count == 1
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_bad_version_is_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99, "entries": {}}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+    def test_apply_baseline_respects_counts(self, tmp_path):
+        _write_pkg(tmp_path, "repro.crypto", "badmod",
+                   "import random\nimport random\n")
+        report = analyze_paths([tmp_path])
+        assert len(report.findings) == 2
+        # Both findings share one fingerprint (same stripped line); a
+        # baseline recording one occurrence forgives exactly one.
+        fp = report.findings[0].fingerprint()
+        new, grandfathered = apply_baseline(report.findings, {fp: 1})
+        assert grandfathered == 1
+        assert len(new) == 1
+
+
+class TestConfig:
+    def test_pyproject_overrides(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""
+            [tool.trust-lint]
+            paths = ["lib"]
+            disable = ["RB302"]
+            extend-public-patterns = ["monkey*"]
+        """))
+        config = AnalysisConfig.from_pyproject(pyproject)
+        assert config.default_paths == ("lib",)
+        assert not config.rule_enabled("RB302")
+        assert not config.is_secret_name("monkeypatch")
+        assert config.is_secret_name("session_key")
+
+    def test_unknown_option_is_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.trust-lint]\ntypo-option = 1\n")
+        with pytest.raises(ValueError, match="typo-option"):
+            AnalysisConfig.from_pyproject(pyproject)
+
+    def test_secret_name_matching(self):
+        config = AnalysisConfig.default()
+        assert config.is_secret_name("session_key")
+        assert config.is_secret_name("device_template")
+        assert config.is_secret_name("minutiae")
+        assert config.is_secret_name("seed")
+        assert not config.is_secret_name("public_key")
+        assert not config.is_secret_name("keystroke_timings")
+        assert not config.is_secret_name("domain")
+
+    def test_secret_bytes_matching(self):
+        config = AnalysisConfig.default()
+        assert config.is_secret_bytes_name("session_key")
+        assert config.is_secret_bytes_name("mac")
+        assert config.is_secret_bytes_name("expected_tag")
+        assert not config.is_secret_bytes_name("public_key")
+        assert not config.is_secret_bytes_name("key_bits")

@@ -1,0 +1,103 @@
+"""Reporters and the repro-lint command line."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import analyze_paths, render_json, render_text
+from repro.analysis.cli import main
+
+
+def _plant(tmp_path, source: str = "import random\n"):
+    pkg = tmp_path / "repro" / "crypto"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").touch()
+    (pkg / "__init__.py").touch()
+    (pkg / "badmod.py").write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+class TestReporters:
+    def test_text_report_lists_location_and_rule(self, tmp_path):
+        _plant(tmp_path)
+        report = analyze_paths([tmp_path])
+        text = render_text(report)
+        assert "CD201" in text
+        assert "badmod.py:1:" in text
+        assert "1 finding(s)" in text
+
+    def test_json_report_is_parseable_and_stable(self, tmp_path):
+        _plant(tmp_path)
+        report = analyze_paths([tmp_path])
+        payload = json.loads(render_json(report))
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "CD201"
+        assert payload["findings"][0]["module"] == "repro.crypto.badmod"
+        assert payload["findings"][0]["fingerprint"]
+
+    def test_clean_report(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = analyze_paths([tmp_path])
+        assert "0 finding(s)" in render_text(report)
+        assert json.loads(render_json(report))["clean"] is True
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        _plant(tmp_path)
+        code = main([str(tmp_path), "--no-config"])
+        assert code == 1
+        assert "CD201" in capsys.readouterr().out
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = main([str(tmp_path), "--no-config"])
+        assert code == 0
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        code = main([str(tmp_path / "nope"), "--no-config"])
+        assert code == 2
+
+    def test_disable_silences_rule(self, tmp_path, capsys):
+        _plant(tmp_path)
+        code = main([str(tmp_path), "--no-config", "--disable", "CD201"])
+        assert code == 0
+
+    def test_unknown_disable_rule_is_an_error(self, tmp_path, capsys):
+        code = main([str(tmp_path), "--no-config", "--disable", "XX999"])
+        assert code == 2
+
+    def test_list_rules(self, capsys):
+        code = main(["--list-rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for rule_id in ("TB001", "SF101", "CD201", "CD202", "CD203",
+                        "RB301", "RB302"):
+            assert rule_id in out
+
+    def test_json_format(self, tmp_path, capsys):
+        _plant(tmp_path)
+        code = main([str(tmp_path), "--no-config", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "CD201"
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        _plant(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        code = main([str(tmp_path), "--no-config",
+                     "--baseline", str(baseline), "--update-baseline"])
+        assert code == 0
+        assert baseline.is_file()
+        # With the baseline applied the same tree is clean.
+        code = main([str(tmp_path), "--no-config",
+                     "--baseline", str(baseline)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_update_baseline_requires_target(self, tmp_path, capsys):
+        _plant(tmp_path)
+        code = main([str(tmp_path), "--no-config", "--update-baseline"])
+        assert code == 2

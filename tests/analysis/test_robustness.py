@@ -1,0 +1,116 @@
+"""RB301/RB302 — robustness rule fixtures."""
+
+from .conftest import rule_ids
+
+
+class TestSwallowedException:
+    def test_bare_except_is_always_flagged(self, lint):
+        findings = lint(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        raise\n",
+            module="repro.net.badmod")
+        assert rule_ids(findings) == ["RB301"]
+
+    def test_broad_except_swallowing_is_flagged(self, lint):
+        findings = lint(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n",
+            module="repro.net.badmod")
+        assert rule_ids(findings) == ["RB301"]
+
+    def test_broad_except_returning_default_is_flagged(self, lint):
+        findings = lint(
+            "def f():\n"
+            "    try:\n"
+            "        return work()\n"
+            "    except Exception as exc:\n"
+            "        return None\n",
+            module="repro.net.badmod")
+        assert rule_ids(findings) == ["RB301"]
+
+    def test_broad_except_reraising_is_clean(self, lint):
+        findings = lint(
+            "def f():\n"
+            "    try:\n"
+            "        return work()\n"
+            "    except Exception as exc:\n"
+            "        raise RuntimeError('audited') from exc\n",
+            module="repro.net.goodmod")
+        assert findings == []
+
+    def test_broad_except_logging_is_clean(self, lint):
+        findings = lint(
+            "def f(logger):\n"
+            "    try:\n"
+            "        return work()\n"
+            "    except Exception as exc:\n"
+            "        logger.warning(str(exc))\n"
+            "        return None\n",
+            module="repro.net.goodmod")
+        assert findings == []
+
+    def test_narrow_except_is_clean(self, lint):
+        findings = lint(
+            "def f():\n"
+            "    try:\n"
+            "        return work()\n"
+            "    except ValueError:\n"
+            "        return None\n",
+            module="repro.net.goodmod")
+        assert findings == []
+
+    def test_broad_tuple_is_flagged(self, lint):
+        findings = lint(
+            "def f():\n"
+            "    try:\n"
+            "        return work()\n"
+            "    except (ValueError, Exception):\n"
+            "        return None\n",
+            module="repro.net.badmod")
+        assert rule_ids(findings) == ["RB301"]
+
+
+class TestMutableDefaults:
+    def test_list_default_is_flagged(self, lint):
+        findings = lint("def f(items=[]):\n    return items\n",
+                        module="repro.net.badmod")
+        assert rule_ids(findings) == ["RB302"]
+
+    def test_dict_default_is_flagged(self, lint):
+        findings = lint("def f(*, cache={}):\n    return cache\n",
+                        module="repro.net.badmod")
+        assert rule_ids(findings) == ["RB302"]
+
+    def test_set_constructor_default_is_flagged(self, lint):
+        findings = lint("def f(seen=set()):\n    return seen\n",
+                        module="repro.net.badmod")
+        assert rule_ids(findings) == ["RB302"]
+
+    def test_none_default_is_clean(self, lint):
+        findings = lint(
+            "def f(items=None):\n"
+            "    return [] if items is None else items\n",
+            module="repro.net.goodmod")
+        assert findings == []
+
+    def test_dataclass_default_factory_is_clean(self, lint):
+        findings = lint(
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class Report:\n"
+            "    findings: list = field(default_factory=list)\n",
+            module="repro.net.goodmod")
+        assert findings == []
+
+    def test_inline_suppression(self, lint):
+        findings = lint(
+            "def f(items=[]):  # trust-lint: disable=RB302\n"
+            "    return items\n",
+            module="repro.net.badmod")
+        assert findings == []

@@ -1,0 +1,88 @@
+"""SF101 — secret-flow hygiene rule fixtures."""
+
+from .conftest import rule_ids
+
+
+class TestSecretSinks:
+    def test_secret_printed_is_flagged(self, lint):
+        findings = lint("print(session_key)\n", module="repro.net.badmod")
+        assert rule_ids(findings) == ["SF101"]
+        assert "session_key" in findings[0].message
+
+    def test_secret_in_fstring_to_print_is_flagged(self, lint):
+        findings = lint('print(f"template bytes: {template}")\n',
+                        module="repro.net.badmod")
+        assert rule_ids(findings) == ["SF101"]
+
+    def test_secret_logged_is_flagged(self, lint):
+        findings = lint(
+            "import logging\n"
+            "logger = logging.getLogger(__name__)\n"
+            "def f(device_seed):\n"
+            "    logger.info(device_seed)\n",
+            module="repro.net.badmod")
+        assert rule_ids(findings) == ["SF101"]
+
+    def test_secret_in_exception_message_is_flagged(self, lint):
+        findings = lint(
+            "def f(minutiae):\n"
+            '    raise ValueError(f"bad capture: {minutiae}")\n',
+            module="repro.net.badmod")
+        assert rule_ids(findings) == ["SF101"]
+
+    def test_secret_in_repr_is_flagged(self, lint):
+        findings = lint(
+            "class Record:\n"
+            "    def __repr__(self):\n"
+            '        return f"Record({self.private_key})"\n',
+            module="repro.net.badmod")
+        assert rule_ids(findings) == ["SF101"]
+
+    def test_secret_returned_from_str_is_flagged(self, lint):
+        findings = lint(
+            "class Record:\n"
+            "    def __str__(self):\n"
+            "        return self.password\n",
+            module="repro.net.badmod")
+        assert rule_ids(findings) == ["SF101"]
+
+
+class TestSecretNegatives:
+    def test_public_key_is_not_secret(self, lint):
+        findings = lint('print(f"bound {public_key}")\n',
+                        module="repro.net.goodmod")
+        assert findings == []
+
+    def test_derived_count_is_not_flagged(self, lint):
+        # len(minutiae) prints a count, not the minutiae themselves.
+        findings = lint('print(f"{len(minutiae)} minutiae found")\n',
+                        module="repro.net.goodmod")
+        assert findings == []
+
+    def test_plain_fstring_outside_sinks_is_clean(self, lint):
+        # f-strings are only sinks in reprs and exception messages.
+        findings = lint('label = f"run-{seed}"\n', module="repro.eval.goodmod")
+        assert findings == []
+
+    def test_trusted_layer_is_exempt(self, lint):
+        findings = lint("print(session_key)\n", module="repro.flock.module")
+        assert findings == []
+
+    def test_keystroke_features_are_not_secrets(self, lint):
+        findings = lint("print(keystroke_timings)\n",
+                        module="repro.baselines.goodmod")
+        assert findings == []
+
+
+class TestSecretSuppression:
+    def test_inline_suppression(self, lint):
+        findings = lint(
+            "print(session_key)  # trust-lint: disable=SF101\n",
+            module="repro.net.badmod")
+        assert findings == []
+
+    def test_suppressing_other_rule_does_not_hide(self, lint):
+        findings = lint(
+            "print(session_key)  # trust-lint: disable=TB001\n",
+            module="repro.net.badmod")
+        assert rule_ids(findings) == ["SF101"]
