@@ -2,8 +2,10 @@
 
 The analysis pass is a tier-1 gate (tests/analysis/test_self_clean.py),
 so it runs on every merge; this smoke check keeps it from quietly
-degrading into something nobody wants to run.  Budget: 10 s for the
-whole ``src/`` tree, which the AST-based engine clears by a wide margin.
+degrading into something nobody wants to run.  Budgets: 10 s for the
+per-module scan over ``src/``, 5 s for the interprocedural taint pass
+on top of it.  The parallel row compares the process-pool scan against
+a forced-sequential run and asserts they agree finding-for-finding.
 """
 
 from __future__ import annotations
@@ -17,25 +19,43 @@ from .conftest import emit
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BUDGET_SECONDS = 10.0
+TAINT_BUDGET_SECONDS = 5.0
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    report = analyze_paths([REPO_ROOT / "src"], **kwargs)
+    return report, time.perf_counter() - start
 
 
 def test_full_tree_pass_under_budget():
-    src = REPO_ROOT / "src"
-    start = time.perf_counter()
-    report = analyze_paths([src])
-    elapsed = time.perf_counter() - start
+    report, elapsed = _timed()
+    report_seq, elapsed_seq = _timed(jobs=1)
+    report_taint, elapsed_taint = _timed(taint=True)
 
     per_file = elapsed / max(report.files_scanned, 1)
     emit(
         "analysis_perf",
         "TRUST-lint full-tree pass\n"
-        f"  files scanned : {report.files_scanned}\n"
-        f"  findings      : {len(report.findings)}\n"
-        f"  wall time     : {elapsed * 1000:.1f} ms"
+        f"  files scanned      : {report.files_scanned}\n"
+        f"  findings           : {len(report.findings)}\n"
+        f"  scan (parallel)    : {elapsed * 1000:.1f} ms"
         f"  ({per_file * 1000:.2f} ms/file)\n"
-        f"  budget        : {BUDGET_SECONDS:.0f} s",
+        f"  scan (sequential)  : {elapsed_seq * 1000:.1f} ms"
+        f"  (speedup x{elapsed_seq / max(elapsed, 1e-9):.2f})\n"
+        f"  scan + taint pass  : {elapsed_taint * 1000:.1f} ms"
+        f"  ({len(report_taint.findings)} finding(s), "
+        f"{len(report_taint.findings) - len(report.findings)} from taint)\n"
+        f"  budgets            : scan {BUDGET_SECONDS:.0f} s, "
+        f"with taint +{TAINT_BUDGET_SECONDS:.0f} s",
     )
 
     assert report.parse_errors == []
     assert elapsed < BUDGET_SECONDS, (
         f"analysis pass took {elapsed:.1f}s (> {BUDGET_SECONDS}s budget)")
+    assert elapsed_taint < BUDGET_SECONDS + TAINT_BUDGET_SECONDS, (
+        f"taint pass took {elapsed_taint:.1f}s "
+        f"(> {BUDGET_SECONDS + TAINT_BUDGET_SECONDS}s budget)")
+    # Parallel and sequential scans must agree exactly (determinism).
+    assert ([f.fingerprint() for f in report.findings]
+            == [f.fingerprint() for f in report_seq.findings])

@@ -24,7 +24,20 @@ CD202     crypto discipline: no ``==``/``!=`` on secret-named byte values —
 CD203     crypto discipline: MD5 only on the frame-hash display path
 RB301     robustness: no bare/broad ``except`` that swallows silently
 RB302     robustness: no mutable default arguments
+SF110     interprocedural secret flow: an aliased/derived secret value
+          reaches an observable sink, with the full source-to-sink trace
+SF111     trust boundary dataflow: a secret crosses from the trusted
+          FLock layer into untrusted code without an approved wrapper
+CD210     interprocedural crypto discipline: ``==``/``!=`` on a value
+          derived from key material, even through calls and aliases
 ========  ===================================================================
+
+SF110/SF111/CD210 come from the opt-in interprocedural taint pass
+(``repro.analysis.taint``): a project-wide symbol table and call graph,
+per-function taint summaries iterated to a fixed point, and findings
+that carry every hop from source to sink.  Enable it with ``--taint``
+(tune it via the ``[tool.trust-lint.taint]`` sub-table); ``repro-lint
+graph`` dumps the call graph the pass resolves.
 
 The package is self-contained (stdlib only; it may not import any other
 ``repro`` package) and runs as ``python -m repro.analysis <paths>`` or via
@@ -32,11 +45,14 @@ the ``repro-lint`` console script.  Findings can be suppressed inline with
 ``# trust-lint: disable=RULE`` comments or grandfathered in a baseline file.
 """
 
-from .baseline import apply_baseline, load_baseline, write_baseline
+from .baseline import (apply_baseline, load_baseline, update_baseline,
+                       write_baseline)
 from .config import AnalysisConfig
-from .core import Finding, ModuleContext, Rule, all_rules, get_rule
-from .engine import AnalysisReport, analyze_paths, analyze_source
-from .reporters import render_json, render_text
+from .core import Finding, ModuleContext, Rule, TraceHop, all_rules, get_rule
+from .engine import (AnalysisReport, analyze_paths, analyze_source,
+                     analyze_sources)
+from .reporters import render_json, render_sarif, render_text
+from .taint import run_taint
 
 __all__ = [
     "AnalysisConfig",
@@ -44,13 +60,18 @@ __all__ = [
     "Finding",
     "ModuleContext",
     "Rule",
+    "TraceHop",
     "all_rules",
     "get_rule",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
     "apply_baseline",
     "load_baseline",
+    "update_baseline",
     "write_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
+    "run_taint",
 ]

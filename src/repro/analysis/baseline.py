@@ -19,13 +19,14 @@ from pathlib import Path
 
 from .core import Finding
 
-__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+__all__ = ["load_baseline", "write_baseline", "update_baseline",
+           "apply_baseline"]
 
 _VERSION = 1
 
 
-def load_baseline(path: Path | str) -> dict[str, int]:
-    """Fingerprint -> allowed count.  Missing file = empty baseline."""
+def _read_entries(path: Path | str) -> dict[str, dict]:
+    """The raw fingerprint -> entry map; missing file = empty."""
     path = Path(path)
     if not path.is_file():
         return {}
@@ -34,17 +35,21 @@ def load_baseline(path: Path | str) -> dict[str, int]:
         raise ValueError(
             f"unsupported baseline version {data.get('version')!r} "
             f"in {path}")
-    entries = data.get("entries", {})
-    return {fp: int(entry.get("count", 1)) for fp, entry in entries.items()}
+    return dict(data.get("entries", {}))
 
 
-def write_baseline(path: Path | str, findings: list[Finding]) -> None:
-    """Persist the given findings as the new baseline."""
+def load_baseline(path: Path | str) -> dict[str, int]:
+    """Fingerprint -> allowed count.  Missing file = empty baseline."""
+    return {fp: int(entry.get("count", 1))
+            for fp, entry in _read_entries(path).items()}
+
+
+def _entries_for(findings: list[Finding]) -> dict[str, dict]:
     counts: Counter[str] = Counter(f.fingerprint() for f in findings)
     by_fp: dict[str, Finding] = {}
     for finding in findings:
         by_fp.setdefault(finding.fingerprint(), finding)
-    entries = {
+    return {
         fp: {
             "rule": by_fp[fp].rule,
             "module": by_fp[fp].module,
@@ -53,9 +58,47 @@ def write_baseline(path: Path | str, findings: list[Finding]) -> None:
         }
         for fp in sorted(counts)
     }
+
+
+def _write_entries(path: Path | str, entries: dict[str, dict]) -> None:
     payload = {"version": _VERSION, "entries": entries}
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                           encoding="utf-8")
+
+
+def write_baseline(path: Path | str, findings: list[Finding]) -> None:
+    """Persist the given findings as the new baseline (replacing any)."""
+    _write_entries(path, _entries_for(findings))
+
+
+def update_baseline(path: Path | str, findings: list[Finding],
+                    merge: bool = False) -> tuple[int, int, int]:
+    """Write (or merge into) the baseline; returns (added, removed, kept).
+
+    ``merge=False`` replaces the file with exactly the given findings —
+    entries for fixed findings drop out.  ``merge=True`` keeps every
+    existing entry (even ones not observed this run, e.g. when only a
+    subtree was scanned) and adds the new ones, taking the larger count
+    where a fingerprint appears in both.
+    """
+    old = _read_entries(path)
+    new = _entries_for(findings)
+    if merge:
+        final = dict(old)
+        for fp, entry in new.items():
+            if fp in final:
+                final[fp] = {**final[fp],
+                             "count": max(int(final[fp].get("count", 1)),
+                                          int(entry["count"]))}
+            else:
+                final[fp] = entry
+    else:
+        final = new
+    _write_entries(path, final)
+    added = len(set(final) - set(old))
+    removed = len(set(old) - set(final))
+    kept = len(set(final) & set(old))
+    return added, removed, kept
 
 
 def apply_baseline(findings: list[Finding],

@@ -1,6 +1,10 @@
 """TRUST-lint command line: ``python -m repro.analysis`` / ``repro-lint``.
 
 Exit codes: 0 clean, 1 findings (or parse errors), 2 usage/config error.
+
+Besides the per-module scan, ``--taint`` runs the interprocedural
+secret-flow pass (SF110/SF111/CD210) and ``repro-lint graph`` dumps the
+call graph that pass builds, for auditing how a trace was resolved.
 """
 
 from __future__ import annotations
@@ -10,11 +14,12 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
-from .baseline import load_baseline, write_baseline
+from .baseline import load_baseline, update_baseline
 from .config import AnalysisConfig, find_pyproject
 from .core import get_rule
-from .engine import analyze_paths
-from .reporters import render_json, render_rule_list, render_text
+from .engine import analyze_paths, build_contexts, iter_python_files
+from .reporters import (render_json, render_rule_list, render_sarif,
+                        render_text)
 
 __all__ = ["main", "build_parser"]
 
@@ -29,19 +34,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*",
                         help="files or directories to analyze (default: "
                         "the [tool.trust-lint] paths, then 'src')")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="report format (default: text)")
+    parser.add_argument("--taint", action="store_true",
+                        help="also run the interprocedural secret-flow "
+                        "pass (SF110/SF111/CD210, with full traces)")
+    parser.add_argument("--jobs", type=int, metavar="N", default=None,
+                        help="worker processes for the per-file scan "
+                        "(default: automatic)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="baseline file of grandfathered findings")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write current findings to the baseline file "
                         "and exit 0")
+    parser.add_argument("--merge", action="store_true",
+                        help="with --update-baseline: keep existing "
+                        "entries and add new ones instead of replacing")
     parser.add_argument("--disable", metavar="RULES", default="",
                         help="comma-separated rule ids to disable")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
     parser.add_argument("--no-config", action="store_true",
                         help="ignore [tool.trust-lint] in pyproject.toml")
+    return parser
+
+
+def build_graph_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint graph",
+        description=("dump the interprocedural call graph the taint pass "
+                     "resolves, one 'caller -> callee' edge per line"),
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: 'src')")
+    parser.add_argument("--focus", metavar="PREFIX", default="",
+                        help="only edges where caller or callee starts "
+                        "with this dotted prefix")
     return parser
 
 
@@ -62,7 +91,37 @@ def _load_config(args: argparse.Namespace) -> AnalysisConfig:
     return config
 
 
+def _graph_main(argv: list[str]) -> int:
+    args = build_graph_parser().parse_args(argv)
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    from .taint import run_taint
+    contexts, errors = build_contexts(
+        iter_python_files([Path(p) for p in paths]))
+    for display, message in errors:
+        print(f"{display}: PARSE {message}", file=sys.stderr)
+    _, analysis = run_taint(contexts, AnalysisConfig.default())
+    count = 0
+    for caller in sorted(analysis.call_edges):
+        for callee in sorted(analysis.call_edges[caller]):
+            if args.focus and not (caller.startswith(args.focus)
+                                   or callee.startswith(args.focus)):
+                continue
+            print(f"{caller} -> {callee}")
+            count += 1
+    print(f"{count} edge(s), {len(analysis.index.functions)} function(s)",
+          file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "graph":
+        return _graph_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -92,20 +151,24 @@ def main(argv: list[str] | None = None) -> int:
             print(f"repro-lint: bad baseline: {exc}", file=sys.stderr)
             return 2
 
-    report = analyze_paths(paths, config, baseline=baseline)
+    report = analyze_paths(paths, config, baseline=baseline,
+                           taint=args.taint, jobs=args.jobs)
 
     if args.update_baseline:
         if not baseline_path:
             print("repro-lint: --update-baseline needs --baseline FILE "
                   "or a [tool.trust-lint] baseline setting", file=sys.stderr)
             return 2
-        write_baseline(baseline_path, report.findings)
-        print(f"baseline updated: {len(report.findings)} finding(s) "
-              f"recorded in {baseline_path}")
+        added, removed, kept = update_baseline(
+            baseline_path, report.findings, merge=args.merge)
+        mode = "merged into" if args.merge else "written to"
+        print(f"baseline {mode} {baseline_path}: {added} added, "
+              f"{removed} removed, {kept} kept")
         return 0
 
-    print(render_json(report) if args.format == "json"
-          else render_text(report))
+    renderers = {"text": render_text, "json": render_json,
+                 "sarif": render_sarif}
+    print(renderers[args.format](report))
     return 0 if report.clean else 1
 
 

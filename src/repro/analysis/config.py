@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from fnmatch import fnmatchcase
+from functools import lru_cache
 from pathlib import Path
 
 __all__ = ["AnalysisConfig", "LAYERING", "find_pyproject"]
@@ -63,6 +64,13 @@ def _lower_tuple(values) -> tuple[str, ...]:
     return tuple(str(v).lower() for v in values)
 
 
+@lru_cache(maxsize=None)
+def _match(low: str, patterns: tuple[str, ...]) -> bool:
+    """Cached fnmatch-any: the taint pass asks about the same few
+    hundred identifiers millions of times."""
+    return any(fnmatchcase(low, p) for p in patterns)
+
+
 @dataclass(frozen=True)
 class AnalysisConfig:
     """One immutable bundle of every knob the rules read."""
@@ -74,6 +82,13 @@ class AnalysisConfig:
     #: Packages whose internals legitimately hold secrets; SF101 does not
     #: fire inside them (the trusted boundary is what keeps them safe).
     trusted_packages: tuple[str, ...] = ("repro.crypto", "repro.flock")
+
+    #: Packages holding *device-bound* secret state (SF111).  Narrower than
+    #: :attr:`trusted_packages`: ``repro.crypto`` is a pure library whose
+    #: outputs belong to whoever called it (a server generating its own CA
+    #: keys is fine), but a secret handed out by the stateful FLock module
+    #: is the paper's trust boundary leaking.
+    boundary_packages: tuple[str, ...] = ("repro.flock",)
 
     #: Identifier patterns (fnmatch, lowercased) that denote secret values.
     secret_patterns: tuple[str, ...] = (
@@ -88,6 +103,17 @@ class AnalysisConfig:
         "*public*", "*keystroke*", "*keyboard*", "keyword*",
         "key_bits", "key_size", "key_len", "key_id", "*_key_id",
         "n_template*", "template_id", "*template_count*",
+        # Identifiers: derived from secrets but public by design.
+        "*_id", "*_ids",
+        # Keyboard-layout geometry (keys per row, key width/height).
+        "keys_per_*", "key_w", "key_h",
+        # Match/risk scores and quality metrics are the authentication
+        # *output* the host is meant to see.
+        "*score*", "*quality*",
+        # Sealed/encrypted names declare already-sanitized content.
+        "sealed_*", "*_sealed", "*ciphertext*", "*encrypted*",
+        # Name patterns *about* secrets (this analyzer's own config).
+        "*_patterns",
     )
 
     #: Packages where stdlib ``random`` is banned outright (CD201).
@@ -118,6 +144,37 @@ class AnalysisConfig:
         "repro.flock.display",
     )
 
+    #: Extra identifier patterns (beyond :attr:`secret_patterns`) that seed
+    #: secret taint in the interprocedural pass only.
+    taint_sources: tuple[str, ...] = ()
+
+    #: Extra callable-name patterns the taint pass treats as observable
+    #: sinks, on top of the built-in print/logging/exception/__repr__ set.
+    taint_sinks: tuple[str, ...] = ()
+
+    #: Callable-name patterns whose *results* are clean: one-way or
+    #: sealing transforms (HMAC, hashes, ciphertext, signatures) plus
+    #: taint-free observers.  A secret pushed through one of these may
+    #: legitimately cross the trust boundary.
+    taint_sanitizers: tuple[str, ...] = (
+        "hmac*", "hkdf*", "sha256*", "sha1*", "md5*", "*hash*", "*digest",
+        "hexdigest", "encrypt*", "*_encrypt", "seal*", "sign*", "verify*",
+        "constant_time_equal", "attest*", "len", "bool", "type", "id",
+        "isinstance", "hasattr", "range",
+        # Size observers and seeded-RNG constructors: their outputs do
+        # not reveal the material that parameterised them.
+        "*length*", "bit_length", "default_rng",
+    )
+
+    #: Callable-name patterns whose results demand constant-time equality
+    #: (CD210): MAC/digest/signature producers.  They are *confidentiality*
+    #: sanitizers (a MAC tag may be shown to the network) but comparing one
+    #: with ``==`` leaks the comparison prefix through timing.
+    ctime_producer_patterns: tuple[str, ...] = (
+        "hmac*", "*digest*", "mac", "*_mac", "sha256", "sha1", "md5*",
+        "*hash*", "sign", "*signature*", "tag", "*_tag",
+    )
+
     #: Rule ids disabled wholesale.
     disabled_rules: tuple[str, ...] = ()
 
@@ -131,21 +188,26 @@ class AnalysisConfig:
     def is_secret_name(self, name: str) -> bool:
         """Does ``name`` denote secret material (SF101)?"""
         low = name.lower()
-        if any(fnmatchcase(low, p) for p in self.public_patterns):
+        if _match(low, self.public_patterns):
             return False
-        return any(fnmatchcase(low, p) for p in self.secret_patterns)
+        return _match(low, self.secret_patterns)
 
     def is_secret_bytes_name(self, name: str) -> bool:
         """Does ``name`` denote a secret byte string (CD202)?"""
         low = name.lower()
-        if any(fnmatchcase(low, p) for p in self.bytes_public_patterns):
+        if _match(low, self.bytes_public_patterns):
             return False
-        return any(fnmatchcase(low, p) for p in self.secret_bytes_patterns)
+        return _match(low, self.secret_bytes_patterns)
 
     def in_trusted_package(self, module: str) -> bool:
         """Is ``module`` inside a trusted layer (SF101 exempt)?"""
         return any(module == pkg or module.startswith(pkg + ".")
                    for pkg in self.trusted_packages)
+
+    def in_boundary_package(self, module: str) -> bool:
+        """Is ``module`` inside the stateful trust boundary (SF111)?"""
+        return any(module == pkg or module.startswith(pkg + ".")
+                   for pkg in self.boundary_packages)
 
     def in_rng_clean_package(self, module: str) -> bool:
         """Is ``module`` inside a package where stdlib random is banned?"""
@@ -156,6 +218,43 @@ class AnalysisConfig:
         """Is the rule enabled under this config?"""
         return rule_id not in self.disabled_rules
 
+    # ------------------------------------------------------- taint matching
+    def is_taint_source_name(self, name: str) -> bool:
+        """Does ``name`` seed secret taint in the interprocedural pass?"""
+        low = name.lower()
+        if _match(low, self.public_patterns):
+            return False
+        return (_match(low, self.secret_patterns)
+                or _match(low, self.taint_sources))
+
+    def is_taint_sink_name(self, name: str) -> bool:
+        """Is a call to ``name`` a configured extra observable sink?"""
+        return _match(name.lower(), self.taint_sinks)
+
+    def is_sanitizer_name(self, name: str) -> bool:
+        """Does a call to ``name`` launder secret taint (one-way/sealed)?"""
+        return _match(name.lower(), self.taint_sanitizers)
+
+    def is_ctime_producer_name(self, name: str) -> bool:
+        """Does a call to ``name`` yield timing-sensitive bytes (CD210)?"""
+        low = name.lower()
+        if _match(low, self.bytes_public_patterns):
+            return False
+        return _match(low, self.ctime_producer_patterns)
+
+    def is_declassified_name(self, name: str) -> bool:
+        """Is ``name`` public-by-construction under either override list?
+
+        The taint pass treats an assignment or attribute store *into* a
+        public-named location as declassification: names are the audit
+        surface in this codebase, and a secret landing in ``device_id``
+        or ``public_key`` is either fine or a naming bug SF101-style
+        review would catch.
+        """
+        low = name.lower()
+        return (_match(low, self.public_patterns)
+                or _match(low, self.bytes_public_patterns))
+
     # ----------------------------------------------------------- overrides
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "AnalysisConfig":
@@ -163,8 +262,10 @@ class AnalysisConfig:
 
         Recognized keys: ``paths`` (list of str), ``disable`` (list of rule
         ids), ``baseline`` (str), ``extend-secret-patterns``,
-        ``extend-public-patterns`` (lists of fnmatch patterns).  Unknown
-        keys are rejected so typos fail loudly.
+        ``extend-public-patterns`` (lists of fnmatch patterns), and a
+        ``taint`` sub-table with ``extend-sources`` / ``extend-sinks`` /
+        ``extend-sanitizers`` pattern lists.  Unknown keys are rejected so
+        typos fail loudly.
         """
         import tomllib
 
@@ -176,12 +277,29 @@ class AnalysisConfig:
     def with_overrides(self, section: dict) -> "AnalysisConfig":
         """Apply a ``[tool.trust-lint]``-shaped dict of overrides."""
         known = {"paths", "disable", "baseline", "extend-secret-patterns",
-                 "extend-public-patterns"}
+                 "extend-public-patterns", "taint"}
         unknown = set(section) - known
         if unknown:
             raise ValueError(
                 f"unknown [tool.trust-lint] options: {sorted(unknown)}")
+        taint = section.get("taint", {})
+        taint_known = {"extend-sources", "extend-sinks", "extend-sanitizers"}
+        taint_unknown = set(taint) - taint_known
+        if taint_unknown:
+            raise ValueError(
+                f"unknown [tool.trust-lint.taint] options: "
+                f"{sorted(taint_unknown)}")
         updates = {}
+        if "extend-sources" in taint:
+            updates["taint_sources"] = self.taint_sources + _lower_tuple(
+                taint["extend-sources"])
+        if "extend-sinks" in taint:
+            updates["taint_sinks"] = self.taint_sinks + _lower_tuple(
+                taint["extend-sinks"])
+        if "extend-sanitizers" in taint:
+            updates["taint_sanitizers"] = (
+                self.taint_sanitizers + _lower_tuple(
+                    taint["extend-sanitizers"]))
         if "paths" in section:
             updates["default_paths"] = tuple(str(p) for p in section["paths"])
         if "disable" in section:

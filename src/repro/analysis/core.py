@@ -22,8 +22,8 @@ from typing import Iterable, Iterator
 from .config import AnalysisConfig
 
 __all__ = [
-    "Finding", "ModuleContext", "Rule", "register", "all_rules", "get_rule",
-    "terminal_name",
+    "Finding", "TraceHop", "ModuleContext", "Rule", "ProjectRule", "register",
+    "all_rules", "get_rule", "terminal_name",
 ]
 
 #: ``# trust-lint: disable=CD201,RB301`` (line scope) or
@@ -35,8 +35,26 @@ _DIRECTIVE_RE = re.compile(
 
 
 @dataclass(frozen=True)
+class TraceHop:
+    """One hop of a source-to-sink taint trace."""
+
+    path: str
+    line: int
+    note: str
+
+    def location(self) -> str:
+        """``path:line`` for human output."""
+        return f"{self.path}:{self.line}"
+
+
+@dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    Dataflow rules (SF110/SF111/CD210) attach the full source-to-sink
+    ``trace``; purely syntactic rules leave it empty.  The trace never
+    enters the fingerprint, so baselines survive trace refinements.
+    """
 
     rule: str
     message: str
@@ -45,6 +63,7 @@ class Finding:
     line: int
     col: int
     source_line: str
+    trace: tuple[TraceHop, ...] = ()
 
     def fingerprint(self) -> str:
         """Stable id used by the baseline: survives pure line motion."""
@@ -163,6 +182,20 @@ class Rule:
               config: AnalysisConfig) -> Iterator[Finding]:
         """Yield findings for one module."""
         raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule computed over the whole project at once, not per module.
+
+    Project rules (the taint rules) exist in the registry so they share
+    the id/enable/suppress/baseline machinery, but the engine never calls
+    their per-module :meth:`check`; their findings come out of the
+    project-wide pass in :mod:`repro.analysis.taint`.
+    """
+
+    def check(self, ctx: ModuleContext,
+              config: AnalysisConfig) -> Iterator[Finding]:
+        return iter(())
 
 
 _REGISTRY: dict[str, Rule] = {}

@@ -5,19 +5,33 @@ findings": Python-file discovery, dotted-module-name recovery (walking up
 ``__init__.py`` markers so rules see ``repro.net.webserver`` regardless of
 where the tree is checked out), rule execution, suppression filtering and
 baseline subtraction.
+
+Per-module scanning is embarrassingly parallel, so ``analyze_paths``
+fans files out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+when the file count justifies the fork cost; results are collected in
+submission order and globally sorted, so the output is byte-identical to
+a sequential run.  The optional interprocedural taint pass
+(:mod:`repro.analysis.taint`) runs afterwards in the parent process —
+it needs every module's AST at once and is not parallelisable per file.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .baseline import apply_baseline
 from .config import AnalysisConfig
-from .core import Finding, ModuleContext, all_rules
+from .core import Finding, ModuleContext, ProjectRule, all_rules
 
 __all__ = ["AnalysisReport", "analyze_paths", "analyze_source",
-           "module_name_for"]
+           "analyze_sources", "build_contexts", "module_name_for"]
+
+#: Below this many files a process pool costs more than it saves.
+_PARALLEL_THRESHOLD = 24
+_MAX_WORKERS = 8
 
 
 @dataclass
@@ -29,6 +43,7 @@ class AnalysisReport:
     files_scanned: int = 0
     suppressed_count: int = 0
     baselined_count: int = 0
+    taint_ran: bool = False
 
     @property
     def clean(self) -> bool:
@@ -68,36 +83,105 @@ def module_name_for(path: Path) -> tuple[str, bool]:
     return ".".join(parts) or resolved.stem, is_package
 
 
+def _load_context(file_path: Path,
+                  display: str) -> tuple[ModuleContext | None, str | None]:
+    """(context, error message) — exactly one of the two is None."""
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, f"unreadable: {exc}"
+    module, is_package = module_name_for(file_path)
+    try:
+        ctx = ModuleContext.build(file_path, display, module, source,
+                                  is_package=is_package)
+    except SyntaxError as exc:
+        return None, f"syntax error: {exc.msg} (line {exc.lineno})"
+    return ctx, None
+
+
+def _scan_worker(payload: tuple[str, str, AnalysisConfig]) -> dict:
+    """Scan one file with the per-module rules (process-pool safe)."""
+    path_str, display, config = payload
+    ctx, error = _load_context(Path(path_str), display)
+    if ctx is None:
+        return {"display": display, "error": error, "findings": [],
+                "suppressed": 0}
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule in all_rules():
+        if isinstance(rule, ProjectRule):
+            continue  # computed by the project-wide taint pass
+        if not config.rule_enabled(rule.id):
+            continue
+        for finding in rule.check(ctx, config):
+            if ctx.is_suppressed(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return {"display": display, "error": None, "findings": findings,
+            "suppressed": suppressed}
+
+
+def _effective_jobs(jobs: int | None, file_count: int) -> int:
+    if jobs is not None:
+        return max(1, jobs)
+    if file_count < _PARALLEL_THRESHOLD:
+        return 1
+    return max(1, min(_MAX_WORKERS, os.cpu_count() or 1))
+
+
+def build_contexts(
+        file_paths: list[Path]) -> tuple[list[ModuleContext],
+                                         list[tuple[str, str]]]:
+    """Parse every file into a ModuleContext; returns (contexts, errors)."""
+    contexts: list[ModuleContext] = []
+    errors: list[tuple[str, str]] = []
+    for file_path in file_paths:
+        ctx, error = _load_context(file_path, _display_path(file_path))
+        if ctx is None:
+            errors.append((_display_path(file_path), error or "unreadable"))
+        else:
+            contexts.append(ctx)
+    return contexts, errors
+
+
 def analyze_paths(paths: list[Path] | list[str],
                   config: AnalysisConfig | None = None,
-                  baseline: dict[str, int] | None = None) -> AnalysisReport:
-    """Run every enabled rule over the Python files under ``paths``."""
+                  baseline: dict[str, int] | None = None,
+                  *, taint: bool = False,
+                  jobs: int | None = None) -> AnalysisReport:
+    """Run every enabled rule over the Python files under ``paths``.
+
+    ``taint=True`` additionally runs the interprocedural secret-flow
+    pass (SF110/SF111/CD210) over the whole file set.  ``jobs`` forces a
+    worker count for the per-file scan (default: automatic — sequential
+    for small trees, up to 8 processes for large ones).
+    """
     config = config if config is not None else AnalysisConfig.default()
     report = AnalysisReport()
-    rules = [rule for rule in all_rules() if config.rule_enabled(rule.id)]
+    file_paths = iter_python_files([Path(p) for p in paths])
+    payloads = [(str(p), _display_path(p), config) for p in file_paths]
+    workers = _effective_jobs(jobs, len(file_paths))
+    if workers > 1:
+        chunk = max(1, len(payloads) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_scan_worker, payloads, chunksize=chunk))
+    else:
+        results = [_scan_worker(payload) for payload in payloads]
     raw_findings: list[Finding] = []
-    for file_path in iter_python_files([Path(p) for p in paths]):
-        display = _display_path(file_path)
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            report.parse_errors.append((display, f"unreadable: {exc}"))
-            continue
-        module, is_package = module_name_for(file_path)
-        try:
-            ctx = ModuleContext.build(file_path, display, module, source,
-                                      is_package=is_package)
-        except SyntaxError as exc:
-            report.parse_errors.append((display, f"syntax error: {exc.msg} "
-                                        f"(line {exc.lineno})"))
+    for result in results:  # submission order: deterministic
+        if result["error"] is not None:
+            report.parse_errors.append((result["display"], result["error"]))
             continue
         report.files_scanned += 1
-        for rule in rules:
-            for finding in rule.check(ctx, config):
-                if ctx.is_suppressed(finding.rule, finding.line):
-                    report.suppressed_count += 1
-                else:
-                    raw_findings.append(finding)
+        report.suppressed_count += result["suppressed"]
+        raw_findings.extend(result["findings"])
+    if taint:
+        from .taint import run_taint
+        contexts, _ = build_contexts(file_paths)  # errors already reported
+        taint_findings, _ = run_taint(contexts, config)
+        raw_findings.extend(taint_findings)
+        report.taint_ran = True
     raw_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if baseline:
         new_findings, baselined = apply_baseline(raw_findings, baseline)
@@ -110,19 +194,44 @@ def analyze_paths(paths: list[Path] | list[str],
 
 def analyze_source(source: str, module: str = "snippet",
                    config: AnalysisConfig | None = None,
-                   is_package: bool = False) -> list[Finding]:
+                   is_package: bool = False,
+                   taint: bool = False) -> list[Finding]:
     """Run the rules over one in-memory snippet (test/fixture entry point)."""
+    return analyze_sources({module: source}, config=config,
+                           is_package=is_package, taint=taint)
+
+
+def analyze_sources(sources: dict[str, str],
+                    config: AnalysisConfig | None = None,
+                    is_package: bool = False,
+                    taint: bool = False) -> list[Finding]:
+    """Run the rules over a set of in-memory modules ({module: source}).
+
+    The multi-module form exists for taint fixtures: cross-module flows
+    need every module in one index.  ``is_package`` applies to modules
+    whose source should be treated as a package ``__init__``.
+    """
     config = config if config is not None else AnalysisConfig.default()
-    ctx = ModuleContext.build(Path(f"{module}.py"), f"{module}.py", module,
-                              source, is_package=is_package)
+    contexts = []
+    for module, source in sources.items():
+        contexts.append(ModuleContext.build(
+            Path(f"{module}.py"), f"{module}.py", module, source,
+            is_package=is_package))
     findings: list[Finding] = []
-    for rule in all_rules():
-        if not config.rule_enabled(rule.id):
-            continue
-        for finding in rule.check(ctx, config):
-            if not ctx.is_suppressed(finding.rule, finding.line):
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    for ctx in contexts:
+        for rule in all_rules():
+            if isinstance(rule, ProjectRule):
+                continue
+            if not config.rule_enabled(rule.id):
+                continue
+            for finding in rule.check(ctx, config):
+                if not ctx.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    if taint:
+        from .taint import run_taint
+        taint_findings, _ = run_taint(contexts, config)
+        findings.extend(taint_findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
 

@@ -1,4 +1,10 @@
-"""TRUST-lint reporters: render an AnalysisReport for humans or machines."""
+"""TRUST-lint reporters: render an AnalysisReport for humans or machines.
+
+Three formats: GCC-style text (with indented source-to-sink traces for
+taint findings), a stable JSON document, and SARIF 2.1.0 — taint traces
+become SARIF ``codeFlows`` so IDE/code-scanning UIs can step through
+every hop from secret source to observable sink.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +13,8 @@ import json
 from .core import all_rules
 from .engine import AnalysisReport
 
-__all__ = ["render_text", "render_json", "render_rule_list"]
+__all__ = ["render_text", "render_json", "render_sarif",
+           "render_rule_list"]
 
 
 def render_text(report: AnalysisReport) -> str:
@@ -20,6 +27,10 @@ def render_text(report: AnalysisReport) -> str:
         snippet = finding.source_line.strip()
         if snippet:
             lines.append(f"    {snippet}")
+        if finding.trace:
+            lines.append("    trace:")
+            for hop in finding.trace:
+                lines.append(f"      {hop.location()}  {hop.note}")
     summary = (
         f"{len(report.findings)} finding(s) in {report.files_scanned} "
         f"file(s)"
@@ -45,6 +56,7 @@ def render_json(report: AnalysisReport) -> str:
         "files_scanned": report.files_scanned,
         "suppressed": report.suppressed_count,
         "baselined": report.baselined_count,
+        "taint_ran": report.taint_ran,
         "parse_errors": [
             {"path": display, "message": message}
             for display, message in report.parse_errors
@@ -58,9 +70,85 @@ def render_json(report: AnalysisReport) -> str:
                 "line": finding.line,
                 "col": finding.col,
                 "fingerprint": finding.fingerprint(),
+                "trace": [
+                    {"path": hop.path, "line": hop.line, "note": hop.note}
+                    for hop in finding.trace
+                ],
             }
             for finding in report.findings
         ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_location(path: str, line: int, col: int = 0,
+                    message: str | None = None) -> dict:
+    location = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {"startLine": max(1, line),
+                       "startColumn": max(1, col + 1)},
+        },
+    }
+    if message is not None:
+        location["message"] = {"text": message}
+    return location
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    """SARIF 2.1.0; taint traces are emitted as ``codeFlows``."""
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in all_rules()
+    ]
+    results = []
+    for finding in report.findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [_sarif_location(finding.path, finding.line,
+                                          finding.col)],
+            "partialFingerprints": {
+                "trustLint/v1": finding.fingerprint(),
+            },
+        }
+        if finding.trace:
+            result["codeFlows"] = [{
+                "threadFlows": [{
+                    "locations": [
+                        {"location": _sarif_location(hop.path, hop.line,
+                                                     message=hop.note)}
+                        for hop in finding.trace
+                    ],
+                }],
+            }]
+        results.append(result)
+    for display, message in report.parse_errors:
+        results.append({
+            "ruleId": "PARSE",
+            "level": "error",
+            "message": {"text": message},
+            "locations": [_sarif_location(display, 1)],
+        })
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "https://example.invalid/trust-lint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

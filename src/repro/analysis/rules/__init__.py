@@ -1,3 +1,4 @@
 """Rule modules; importing this package populates the registry."""
 
-from . import boundaries, crypto_discipline, robustness, secrets  # noqa: F401
+from . import (boundaries, crypto_discipline, robustness,  # noqa: F401
+               secret_flow_taint, secrets)

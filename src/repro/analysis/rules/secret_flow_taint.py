@@ -1,0 +1,62 @@
+"""SF110/SF111/CD210 — project-wide secret-flow dataflow rules.
+
+These rules are :class:`~repro.analysis.core.ProjectRule` subclasses:
+registering them here gives them ids, ``--list-rules`` entries, config
+enable/disable, suppression and baseline support — but their findings
+are computed by the interprocedural pass in :mod:`repro.analysis.taint`,
+not by a per-module ``check``.  The engine runs that pass when taint
+analysis is requested (``repro-lint --taint``).
+
+Rule → paper-invariant mapping:
+
+SF110
+    Key material, templates and minutiae must never become *observable*
+    outside the trusted layers.  SF101 catches a secret name written
+    directly into a sink; SF110 catches the same secret after any number
+    of assignments, tuple unpackings, container hops, f-strings or calls
+    (``x = session_key; print(x)`` and far longer chains).
+SF111
+    The FLock module is the paper's trust boundary: raw secrets it holds
+    (device template, session keys, private keys) may only leave it as
+    HMAC tags, hashes, ciphertext or signatures.  SF111 fires where an
+    untrusted frame receives a raw secret straight from a boundary call.
+CD210
+    Every comparison over data derived from key material must be
+    constant-time.  CD202 is local and name-based; CD210 follows the
+    derivation interprocedurally (a MAC tag computed three calls away
+    and compared with ``==`` still fires).
+"""
+
+from __future__ import annotations
+
+from ..core import ProjectRule, register
+
+__all__ = ["AliasedSecretSink", "BoundarySecretExport",
+           "DerivedNonConstantTimeCompare"]
+
+
+@register
+class AliasedSecretSink(ProjectRule):
+    id = "SF110"
+    name = "aliased-secret-sink"
+    summary = ("an aliased or derived secret reaches an observable sink "
+               "(print/logging/exception/__repr__) outside the trusted "
+               "layers — interprocedural companion to SF101")
+
+
+@register
+class BoundarySecretExport(ProjectRule):
+    id = "SF111"
+    name = "boundary-secret-export"
+    summary = ("a raw secret crosses from the trusted FLock boundary into "
+               "an untrusted layer without an approved wrapper "
+               "(HMAC/hash/ciphertext/signature)")
+
+
+@register
+class DerivedNonConstantTimeCompare(ProjectRule):
+    id = "CD210"
+    name = "derived-non-constant-time-compare"
+    summary = ("an ==/!= comparison over a value taint-derived from key "
+               "material (MAC tags, digests, key bytes) — interprocedural "
+               "companion to CD202")

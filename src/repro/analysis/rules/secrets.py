@@ -12,6 +12,14 @@ The rule is deliberately *direct*: only a bare ``Name`` or terminal
 ``Attribute`` flowing into a sink fires (``f"{session_key}"`` — yes;
 ``f"{len(minutiae)}"`` — no, a count is not the secret).  Statically
 deciding the latter class would drown the signal in false positives.
+
+Aliasing is therefore out of scope *here*: ``alias = session_key;
+print(alias)`` does not fire SF101.  That blind spot is covered by
+SF110 (:mod:`.secret_flow_taint`), whose interprocedural taint pass
+follows assignments, tuple unpacking, containers, f-strings and calls
+from the secret's origin to the sink — run it with ``--taint``.  The
+paired fixtures in ``tests/analysis/test_taint_flow.py``
+(``TestSF101BlindSpotRetired``) pin exactly this division of labour.
 """
 
 from __future__ import annotations

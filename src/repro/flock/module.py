@@ -195,11 +195,19 @@ class FlockModule:
                                           account)
         return key_pair.public_key
 
-    def complete_service_binding(self, domain: str,
-                                 template: FingerprintTemplate) -> PublicServiceView:
-        """Fig. 9 step 2 part 2: store the record after fingerprint capture."""
+    def complete_service_binding(
+            self, domain: str,
+            template: FingerprintTemplate | None = None) -> PublicServiceView:
+        """Fig. 9 step 2 part 2: store the record after fingerprint capture.
+
+        ``template`` defaults to the enrolled device template; hosts
+        should omit it so the raw template never crosses out of the
+        module just to be handed straight back in.
+        """
         if domain not in self._pending_bindings:
             raise FlockError(f"no pending binding for {domain!r}")
+        if template is None:
+            template = self.flash.device_template()
         key_pair, server_key, account = self._pending_bindings.pop(domain)
         record = ServiceRecord(
             domain=domain, account=account, key_pair=key_pair,
@@ -240,10 +248,6 @@ class FlockModule:
     def mac(self, key: bytes, message: bytes) -> bytes:
         """HMAC under a caller-supplied key (not session keys)."""
         return self.crypto.mac(key, message)
-
-    def new_session_key(self) -> bytes:
-        """Fresh 32-byte session key from the crypto processor."""
-        return self.crypto.new_session_key()
 
     # -------------------------------------------------- session-key custody
     # The Fig. 10 session key never leaves the module: the host only ever

@@ -96,9 +96,9 @@ class Envelope:
         """What the MAC/signature covers: type tag + canonical fields."""
         return self.msg_type.encode("utf-8") + b"\n" + canonical_payload(self.fields)
 
-    def require(self, *keys: str) -> None:
+    def require(self, *names: str) -> None:
         """Presence check; raises ProtocolError listing missing fields."""
-        missing = [k for k in keys if k not in self.fields]
+        missing = [n for n in names if n not in self.fields]
         if missing:
             raise ProtocolError("malformed-message",
                                 f"{self.msg_type} missing {missing}")

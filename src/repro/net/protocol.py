@@ -146,8 +146,7 @@ def register_device(device: MobileDevice, server: WebServer,
                            max_attempts):
         flock._pending_bindings.pop(server.domain, None)
         return meter.outcome(False, "fingerprint-not-verified")
-    flock.complete_service_binding(server.domain,
-                                   flock.flash.device_template())
+    flock.complete_service_binding(server.domain)
 
     # Steps 3-4: device -> server: signed submission.
     submission = Envelope(MSG_REGISTRATION_SUBMIT, {

@@ -5,17 +5,26 @@ from __future__ import annotations
 import json
 import textwrap
 
-from repro.analysis import analyze_paths, render_json, render_text
+from repro.analysis import (analyze_paths, render_json, render_sarif,
+                            render_text)
 from repro.analysis.cli import main
 
 
-def _plant(tmp_path, source: str = "import random\n"):
-    pkg = tmp_path / "repro" / "crypto"
-    pkg.mkdir(parents=True)
+def _plant(tmp_path, source: str = "import random\n",
+           package: str = "crypto", name: str = "badmod"):
+    pkg = tmp_path / "repro" / package
+    pkg.mkdir(parents=True, exist_ok=True)
     (tmp_path / "repro" / "__init__.py").touch()
     (pkg / "__init__.py").touch()
-    (pkg / "badmod.py").write_text(textwrap.dedent(source))
+    (pkg / f"{name}.py").write_text(textwrap.dedent(source))
     return tmp_path
+
+
+_TAINT_LEAK = """\
+def show(session_key):
+    alias = session_key
+    print(alias)
+"""
 
 
 class TestReporters:
@@ -41,6 +50,44 @@ class TestReporters:
         report = analyze_paths([tmp_path])
         assert "0 finding(s)" in render_text(report)
         assert json.loads(render_json(report))["clean"] is True
+
+    def test_text_and_json_include_taint_traces(self, tmp_path):
+        _plant(tmp_path, _TAINT_LEAK, package="net", name="leaky")
+        report = analyze_paths([tmp_path], taint=True)
+        text = render_text(report)
+        assert "SF110" in text
+        assert "trace:" in text
+        assert "leaky.py:2" in text  # the aliasing hop, with file:line
+        payload = json.loads(render_json(report))
+        assert payload["taint_ran"] is True
+        (finding,) = [f for f in payload["findings"]
+                      if f["rule"] == "SF110"]
+        assert finding["trace"]
+        assert all(h["path"] and h["line"] >= 1 and h["note"]
+                   for h in finding["trace"])
+
+    def test_sarif_report_shape(self, tmp_path):
+        _plant(tmp_path, _TAINT_LEAK, package="net", name="leaky")
+        report = analyze_paths([tmp_path], taint=True)
+        sarif = json.loads(render_sarif(report))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"SF101", "SF110", "SF111", "CD210"} <= rule_ids
+        (result,) = [r for r in run["results"] if r["ruleId"] == "SF110"]
+        assert result["partialFingerprints"]["trustLint/v1"]
+        locations = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(locations) >= 3  # source, alias, sink at minimum
+        for entry in locations:
+            loc = entry["location"]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"]
+            assert loc["region"]["startLine"] >= 1
+
+    def test_sarif_clean_run_has_no_results(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        sarif = json.loads(render_sarif(analyze_paths([tmp_path])))
+        assert sarif["runs"][0]["results"] == []
 
 
 class TestCli:
@@ -101,3 +148,104 @@ class TestCli:
         _plant(tmp_path)
         code = main([str(tmp_path), "--no-config", "--update-baseline"])
         assert code == 2
+
+    def test_taint_flag_runs_interprocedural_pass(self, tmp_path, capsys):
+        _plant(tmp_path, _TAINT_LEAK, package="net", name="leaky")
+        code = main([str(tmp_path), "--no-config"])
+        assert code == 0  # clean without --taint: SF101 cannot see the alias
+        code = main([str(tmp_path), "--no-config", "--taint"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SF110" in out
+        assert "trace:" in out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        _plant(tmp_path)
+        code = main([str(tmp_path), "--no-config", "--format", "sarif"])
+        assert code == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["results"][0]["ruleId"] == "CD201"
+
+    def test_jobs_flag_is_deterministic(self, tmp_path):
+        for i in range(6):
+            _plant(tmp_path, name=f"badmod{i}")
+        seq = analyze_paths([tmp_path], jobs=1)
+        par = analyze_paths([tmp_path], jobs=2)
+        assert ([f.fingerprint() for f in seq.findings]
+                == [f.fingerprint() for f in par.findings])
+        assert len(seq.findings) == 6
+
+    def test_graph_subcommand(self, tmp_path, capsys):
+        _plant(tmp_path, "from repro.net import callee\n\n"
+                         "def caller():\n"
+                         "    return callee.helper()\n",
+               package="net", name="entry")
+        _plant(tmp_path, "def helper():\n    return 1\n",
+               package="net", name="callee")
+        code = main(["graph", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro.net.entry.caller -> repro.net.callee.helper" in out
+
+    def test_graph_focus_filters_edges(self, tmp_path, capsys):
+        _plant(tmp_path, "from repro.net import callee\n\n"
+                         "def caller():\n"
+                         "    return callee.helper()\n",
+               package="net", name="entry")
+        _plant(tmp_path, "def helper():\n    return 1\n",
+               package="net", name="callee")
+        code = main(["graph", str(tmp_path), "--focus", "repro.nothere"])
+        assert code == 0
+        assert "->" not in capsys.readouterr().out
+
+
+class TestUpdateBaseline:
+    def test_fresh_write_reports_stats_and_silences(self, tmp_path, capsys):
+        _plant(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        code = main([str(tmp_path), "--no-config",
+                     "--baseline", str(baseline), "--update-baseline"])
+        assert code == 0
+        assert "1 added, 0 removed, 0 kept" in capsys.readouterr().out
+        payload = json.loads(baseline.read_text())
+        assert payload["version"] == 1
+        (entry,) = payload["entries"].values()
+        assert entry["rule"] == "CD201"
+        assert entry["module"] == "repro.crypto.badmod"
+
+    def test_fresh_write_drops_fixed_findings(self, tmp_path, capsys):
+        _plant(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main([str(tmp_path), "--no-config",
+              "--baseline", str(baseline), "--update-baseline"])
+        # Fix the violation, re-write: the stale entry drops out.
+        (tmp_path / "repro" / "crypto" / "badmod.py").write_text("x = 1\n")
+        code = main([str(tmp_path), "--no-config",
+                     "--baseline", str(baseline), "--update-baseline"])
+        assert code == 0
+        assert "0 added, 1 removed, 0 kept" in capsys.readouterr().out
+        assert json.loads(baseline.read_text())["entries"] == {}
+
+    def test_merge_keeps_unobserved_entries(self, tmp_path, capsys):
+        _plant(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main([str(tmp_path), "--no-config",
+              "--baseline", str(baseline), "--update-baseline"])
+        # A second violation appears; --merge adds it while keeping the
+        # first entry even though we now scan only the new file.
+        other = _plant(tmp_path, "import random\n",
+                       package="flock", name="alsobad")
+        capsys.readouterr()
+        code = main([str(other / "repro" / "flock"), "--no-config",
+                     "--baseline", str(baseline),
+                     "--update-baseline", "--merge"])
+        assert code == 0
+        assert "1 added, 0 removed, 1 kept" in capsys.readouterr().out
+        entries = json.loads(baseline.read_text())["entries"]
+        assert {e["module"] for e in entries.values()} == {
+            "repro.crypto.badmod", "repro.flock.alsobad"}
+        # The merged baseline silences the whole tree.
+        code = main([str(tmp_path), "--no-config",
+                     "--baseline", str(baseline)])
+        assert code == 0
