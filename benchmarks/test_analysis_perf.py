@@ -59,3 +59,46 @@ def test_full_tree_pass_under_budget():
     # Parallel and sequential scans must agree exactly (determinism).
     assert ([f.fingerprint() for f in report.findings]
             == [f.fingerprint() for f in report_seq.findings])
+
+
+VERIFY_DEPTH = 10
+VERIFY_BUDGET_SECONDS = 30.0
+
+
+def test_verify_pass_under_budget():
+    """The protocol model checker: exhaustive, clean, and interactive.
+
+    Depth 10 keeps the benchmark well inside CI time while still
+    exercising every scenario's full transition repertoire; the CI
+    gate itself pins depth 12 (~20 s).
+    """
+    from repro.analysis.verify import run_verify
+
+    start = time.perf_counter()
+    findings, stats = run_verify(depth=VERIFY_DEPTH)
+    elapsed = time.perf_counter() - start
+
+    per_scenario = "\n".join(
+        f"    {sc['name']:10s} {sc['states']:6d} states "
+        f"(peak frontier {sc['max_frontier']})"
+        for sc in stats["scenarios"])
+    emit(
+        "verify_perf",
+        "TRUST-verify model-checking pass\n"
+        f"  depth budget       : {stats['depth']}\n"
+        f"  states explored    : {stats['states']}\n"
+        f"  transitions        : {stats['transitions']}\n"
+        f"  throughput         : {stats['states_per_s']} states/s\n"
+        f"  peak frontier      : {stats['max_frontier']}\n"
+        f"  wall time          : {elapsed:.2f} s "
+        f"(budget {VERIFY_BUDGET_SECONDS:.0f} s)\n"
+        + per_scenario,
+    )
+
+    assert findings == [], [f.message for f in findings]
+    assert stats["exhausted"] is True
+    assert stats["states_per_s"] > 0
+    assert stats["max_frontier"] > 0
+    assert elapsed < VERIFY_BUDGET_SECONDS, (
+        f"verify pass took {elapsed:.1f}s "
+        f"(> {VERIFY_BUDGET_SECONDS}s budget)")

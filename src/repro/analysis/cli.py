@@ -3,8 +3,10 @@
 Exit codes: 0 clean, 1 findings (or parse errors), 2 usage/config error.
 
 Besides the per-module scan, ``--taint`` runs the interprocedural
-secret-flow pass (SF110/SF111/CD210) and ``repro-lint graph`` dumps the
-call graph that pass builds, for auditing how a trace was resolved.
+secret-flow pass (SF110/SF111/CD210), ``repro-lint graph`` dumps the
+call graph that pass builds, for auditing how a trace was resolved, and
+``repro-lint verify`` model-checks the TRUST protocol state machine
+under a Dolev-Yao adversary (PV4xx).
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
-from .baseline import load_baseline, update_baseline
+from .baseline import apply_baseline, load_baseline, update_baseline
 from .config import AnalysisConfig, find_pyproject
 from .core import get_rule
 from .engine import analyze_paths, build_contexts, iter_python_files
@@ -57,7 +59,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list registered rules and exit")
     parser.add_argument("--no-config", action="store_true",
                         help="ignore [tool.trust-lint] in pyproject.toml")
+    _add_fail_on(parser)
     return parser
+
+
+_SEVERITY_RANK = {"note": 0, "warning": 1, "error": 2}
+
+
+def _add_fail_on(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fail-on", choices=("error", "warning", "note"),
+                        default="note", metavar="SEVERITY",
+                        help="lowest severity that makes the exit code "
+                        "non-zero: error, warning or note (default: note "
+                        "— any finding is fatal)")
+
+
+def _exit_code(report, fail_on: str) -> int:
+    """0/1 per the severity threshold; parse errors are always fatal."""
+    if report.parse_errors:
+        return 1
+    threshold = _SEVERITY_RANK[fail_on]
+    if any(_SEVERITY_RANK.get(f.severity, 2) >= threshold
+           for f in report.findings):
+        return 1
+    return 0
 
 
 def build_graph_parser() -> argparse.ArgumentParser:
@@ -118,10 +143,130 @@ def _graph_main(argv: list[str]) -> int:
     return 0
 
 
+def build_verify_parser() -> argparse.ArgumentParser:
+    from .verify import MUTATIONS, SCENARIOS
+    parser = argparse.ArgumentParser(
+        prog="repro-lint verify",
+        description=("model-check the TRUST protocol state machine "
+                     "(PV4xx): bounded exhaustive exploration of an "
+                     "abstracted device/server/FLock model under a "
+                     "Dolev-Yao network adversary"),
+    )
+    parser.add_argument("--depth", type=int, default=None, metavar="N",
+                        help="BFS depth budget in protocol transitions "
+                        "(default: [tool.trust-lint.verify] depth, "
+                        "then 12)")
+    parser.add_argument("--max-states", type=int, default=None,
+                        metavar="N",
+                        help="per-scenario state budget; exceeding it "
+                        "emits PV400 (default: 150000)")
+    parser.add_argument("--entry", action="append", default=None,
+                        choices=sorted(SCENARIOS), metavar="NAME",
+                        help="scenario entry point to explore; repeatable "
+                        "(default: all six)")
+    parser.add_argument("--no-adversary", action="store_true",
+                        help="disable the Dolev-Yao adversary's "
+                        "replay/forge/reorder transitions")
+    parser.add_argument("--mutate", action="append", default=None,
+                        choices=sorted(MUTATIONS), metavar="NAME",
+                        help="enable a deliberate protocol breakage "
+                        "(counterexample demo/tests); repeatable")
+    parser.add_argument("--list-entries", action="store_true",
+                        help="list scenario entry points and mutations, "
+                        "then exit")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                        "and exit 0")
+    parser.add_argument("--merge", action="store_true",
+                        help="with --update-baseline: keep existing "
+                        "entries and add new ones instead of replacing")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.trust-lint] in pyproject.toml")
+    _add_fail_on(parser)
+    return parser
+
+
+def _verify_main(argv: list[str]) -> int:
+    from .engine import AnalysisReport
+    from .verify import MUTATIONS, SCENARIOS, run_verify
+    args = build_verify_parser().parse_args(argv)
+
+    if args.list_entries:
+        for name in SCENARIOS:
+            sc = SCENARIOS[name]
+            print(f"{name:10s} enters at {sc.entry}: {sc.description}")
+        print()
+        for name in sorted(MUTATIONS):
+            print(f"--mutate {name}: {MUTATIONS[name]}")
+        return 0
+
+    if args.no_config:
+        config = AnalysisConfig.default()
+    else:
+        pyproject = find_pyproject(Path.cwd())
+        try:
+            config = (AnalysisConfig.from_pyproject(pyproject)
+                      if pyproject is not None
+                      else AnalysisConfig.default())
+        except (ValueError, OSError) as exc:
+            print(f"repro-lint: configuration error: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        findings, stats = run_verify(
+            config,
+            depth=args.depth,
+            max_states=args.max_states,
+            entries=tuple(args.entry) if args.entry else None,
+            adversary=False if args.no_adversary else None,
+            mutations=tuple(args.mutate or ()),
+        )
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or config.baseline_path or None
+    report = AnalysisReport(findings=findings, verify_stats=stats)
+    if baseline_path and not args.update_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"repro-lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        report.findings, report.baselined_count = apply_baseline(
+            findings, baseline)
+
+    if args.update_baseline:
+        if not baseline_path:
+            print("repro-lint: --update-baseline needs --baseline FILE "
+                  "or a [tool.trust-lint] baseline setting",
+                  file=sys.stderr)
+            return 2
+        added, removed, kept = update_baseline(
+            baseline_path, report.findings, merge=args.merge)
+        mode = "merged into" if args.merge else "written to"
+        print(f"baseline {mode} {baseline_path}: {added} added, "
+              f"{removed} removed, {kept} kept")
+        return 0
+
+    renderers = {"text": render_text, "json": render_json,
+                 "sarif": render_sarif}
+    print(renderers[args.format](report))
+    return _exit_code(report, args.fail_on)
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "graph":
         return _graph_main(argv[1:])
+    if argv and argv[0] == "verify":
+        return _verify_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -169,7 +314,7 @@ def main(argv: list[str] | None = None) -> int:
     renderers = {"text": render_text, "json": render_json,
                  "sarif": render_sarif}
     print(renderers[args.format](report))
-    return 0 if report.clean else 1
+    return _exit_code(report, args.fail_on)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -184,6 +184,19 @@ class AnalysisConfig:
     #: Default baseline file (empty string: no baseline).
     baseline_path: str = ""
 
+    # ------------------------------------------------- protocol verification
+    #: BFS depth budget for ``repro-lint verify`` (transitions per trace).
+    verify_depth: int = 12
+
+    #: Total-state budget per scenario; exceeding it emits PV400 (note).
+    verify_max_states: int = 150_000
+
+    #: Scenario entry points to explore (empty tuple: all six).
+    verify_entries: tuple[str, ...] = ()
+
+    #: Whether the Dolev-Yao adversary's transitions are enabled.
+    verify_adversary: bool = True
+
     # ------------------------------------------------------------ matching
     def is_secret_name(self, name: str) -> bool:
         """Does ``name`` denote secret material (SF101)?"""
@@ -264,8 +277,9 @@ class AnalysisConfig:
         ids), ``baseline`` (str), ``extend-secret-patterns``,
         ``extend-public-patterns`` (lists of fnmatch patterns), and a
         ``taint`` sub-table with ``extend-sources`` / ``extend-sinks`` /
-        ``extend-sanitizers`` pattern lists.  Unknown keys are rejected so
-        typos fail loudly.
+        ``extend-sanitizers`` pattern lists, and a ``verify`` sub-table
+        with ``depth`` / ``max-states`` / ``entries`` / ``adversary``.
+        Unknown keys are rejected so typos fail loudly.
         """
         import tomllib
 
@@ -277,7 +291,7 @@ class AnalysisConfig:
     def with_overrides(self, section: dict) -> "AnalysisConfig":
         """Apply a ``[tool.trust-lint]``-shaped dict of overrides."""
         known = {"paths", "disable", "baseline", "extend-secret-patterns",
-                 "extend-public-patterns", "taint"}
+                 "extend-public-patterns", "taint", "verify"}
         unknown = set(section) - known
         if unknown:
             raise ValueError(
@@ -289,7 +303,23 @@ class AnalysisConfig:
             raise ValueError(
                 f"unknown [tool.trust-lint.taint] options: "
                 f"{sorted(taint_unknown)}")
+        verify = section.get("verify", {})
+        verify_known = {"depth", "max-states", "entries", "adversary"}
+        verify_unknown = set(verify) - verify_known
+        if verify_unknown:
+            raise ValueError(
+                f"unknown [tool.trust-lint.verify] options: "
+                f"{sorted(verify_unknown)}")
         updates = {}
+        if "depth" in verify:
+            updates["verify_depth"] = int(verify["depth"])
+        if "max-states" in verify:
+            updates["verify_max_states"] = int(verify["max-states"])
+        if "entries" in verify:
+            updates["verify_entries"] = tuple(
+                str(e) for e in verify["entries"])
+        if "adversary" in verify:
+            updates["verify_adversary"] = bool(verify["adversary"])
         if "extend-sources" in taint:
             updates["taint_sources"] = self.taint_sources + _lower_tuple(
                 taint["extend-sources"])

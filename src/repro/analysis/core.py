@@ -64,6 +64,7 @@ class Finding:
     col: int
     source_line: str
     trace: tuple[TraceHop, ...] = ()
+    severity: str = "error"  # "error" | "warning" | "note"
 
     def fingerprint(self) -> str:
         """Stable id used by the baseline: survives pure line motion."""
@@ -177,6 +178,7 @@ class Rule:
     id: str = ""
     name: str = ""
     summary: str = ""
+    severity: str = "error"  # default severity of this rule's findings
 
     def check(self, ctx: ModuleContext,
               config: AnalysisConfig) -> Iterator[Finding]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -44,6 +45,9 @@ class AnalysisReport:
     suppressed_count: int = 0
     baselined_count: int = 0
     taint_ran: bool = False
+    #: Exploration statistics when this report came from ``repro-lint
+    #: verify`` (states, transitions, per-scenario breakdown); else None.
+    verify_stats: dict | None = None
 
     @property
     def clean(self) -> bool:
@@ -108,16 +112,23 @@ def _scan_worker(payload: tuple[str, str, AnalysisConfig]) -> dict:
                 "suppressed": 0}
     findings: list[Finding] = []
     suppressed = 0
-    for rule in all_rules():
-        if isinstance(rule, ProjectRule):
-            continue  # computed by the project-wide taint pass
-        if not config.rule_enabled(rule.id):
-            continue
-        for finding in rule.check(ctx, config):
-            if ctx.is_suppressed(finding.rule, finding.line):
-                suppressed += 1
-            else:
-                findings.append(finding)
+    try:
+        for rule in all_rules():
+            if isinstance(rule, ProjectRule):
+                continue  # computed by the project-wide taint pass
+            if not config.rule_enabled(rule.id):
+                continue
+            for finding in rule.check(ctx, config):
+                if ctx.is_suppressed(finding.rule, finding.line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    except Exception as exc:  # trust-lint: disable=RB301
+        # A rule crash must not abort the whole run: surface the file it
+        # died on as a parse-style error and keep scanning the rest.
+        return {"display": display,
+                "error": f"rule crash: {type(exc).__name__}: {exc}",
+                "findings": [], "suppressed": 0}
     return {"display": display, "error": None, "findings": findings,
             "suppressed": suppressed}
 
@@ -164,8 +175,15 @@ def analyze_paths(paths: list[Path] | list[str],
     workers = _effective_jobs(jobs, len(file_paths))
     if workers > 1:
         chunk = max(1, len(payloads) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_scan_worker, payloads, chunksize=chunk))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_scan_worker, payloads,
+                                        chunksize=chunk))
+        except BrokenProcessPool:
+            # A worker died outright (OOM kill, unpicklable crash).  The
+            # scan itself is pure, so fall back to a sequential pass that
+            # can attribute any failure to the file that caused it.
+            results = [_scan_worker(payload) for payload in payloads]
     else:
         results = [_scan_worker(payload) for payload in payloads]
     raw_findings: list[Finding] = []

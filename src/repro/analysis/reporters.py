@@ -23,7 +23,9 @@ def render_text(report: AnalysisReport) -> str:
     for display, message in report.parse_errors:
         lines.append(f"{display}: PARSE {message}")
     for finding in report.findings:
-        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        tag = "" if finding.severity == "error" else f" [{finding.severity}]"
+        lines.append(
+            f"{finding.location()}: {finding.rule}{tag} {finding.message}")
         snippet = finding.source_line.strip()
         if snippet:
             lines.append(f"    {snippet}")
@@ -31,10 +33,15 @@ def render_text(report: AnalysisReport) -> str:
             lines.append("    trace:")
             for hop in finding.trace:
                 lines.append(f"      {hop.location()}  {hop.note}")
+    if report.verify_stats is not None:
+        lines.append(_verify_stats_text(report.verify_stats))
     summary = (
         f"{len(report.findings)} finding(s) in {report.files_scanned} "
         f"file(s)"
     )
+    if report.verify_stats is not None:
+        summary = (f"{len(report.findings)} finding(s) in "
+                   f"{report.verify_stats['states']} explored state(s)")
     extras = []
     if report.suppressed_count:
         extras.append(f"{report.suppressed_count} suppressed")
@@ -45,6 +52,26 @@ def render_text(report: AnalysisReport) -> str:
     if extras:
         summary += " (" + ", ".join(extras) + ")"
     lines.append(summary)
+    return "\n".join(lines)
+
+
+def _verify_stats_text(stats: dict) -> str:
+    lines = [
+        "verify: depth budget %d, adversary %s%s" % (
+            stats["depth"], "on" if stats["adversary"] else "off",
+            (", mutations: " + ", ".join(stats["mutations"])
+             if stats["mutations"] else "")),
+        "verify: %d state(s), %d transition(s) in %.2fs "
+        "(%d states/s, peak frontier %d)%s" % (
+            stats["states"], stats["transitions"], stats["elapsed_s"],
+            stats["states_per_s"], stats["max_frontier"],
+            "" if stats["exhausted"] else " — BUDGET EXCEEDED"),
+    ]
+    for sc in stats["scenarios"]:
+        lines.append(
+            "verify:   %-10s %6d state(s) depth %2d %s" % (
+                sc["name"], sc["states"], sc["depth"],
+                "exhausted" if sc["exhausted"] else "truncated"))
     return "\n".join(lines)
 
 
@@ -64,6 +91,7 @@ def render_json(report: AnalysisReport) -> str:
         "findings": [
             {
                 "rule": finding.rule,
+                "severity": finding.severity,
                 "message": finding.message,
                 "path": finding.path,
                 "module": finding.module,
@@ -78,6 +106,8 @@ def render_json(report: AnalysisReport) -> str:
             for finding in report.findings
         ],
     }
+    if report.verify_stats is not None:
+        payload["verify"] = report.verify_stats
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -109,7 +139,9 @@ def render_sarif(report: AnalysisReport) -> str:
     for finding in report.findings:
         result = {
             "ruleId": finding.rule,
-            "level": "error",
+            "level": finding.severity
+            if finding.severity in ("error", "warning", "note")
+            else "error",
             "message": {"text": finding.message},
             "locations": [_sarif_location(finding.path, finding.line,
                                           finding.col)],
@@ -135,20 +167,23 @@ def render_sarif(report: AnalysisReport) -> str:
             "message": {"text": message},
             "locations": [_sarif_location(display, 1)],
         })
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "informationUri": "https://example.invalid/trust-lint",
+                "rules": rules,
+            },
+        },
+        "results": results,
+    }
+    if report.verify_stats is not None:
+        run["properties"] = {"verify": report.verify_stats}
     payload = {
         "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
                     "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
         "version": "2.1.0",
-        "runs": [{
-            "tool": {
-                "driver": {
-                    "name": "repro-lint",
-                    "informationUri": "https://example.invalid/trust-lint",
-                    "rules": rules,
-                },
-            },
-            "results": results,
-        }],
+        "runs": [run],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

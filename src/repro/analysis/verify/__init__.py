@@ -1,0 +1,43 @@
+"""TRUST-verify: an explicit-state model checker for the TRUST protocols.
+
+The paper's remote-identity claims are *protocol* claims: per-touch
+continuous authentication, challenge attestation, identity reset and
+transfer must stay safe under every interleaving of message delivery —
+including the ones a Dolev-Yao network adversary chooses.  The example
+driven tests in ``tests/net`` exercise a handful of happy/sad paths;
+this package exhaustively explores a bounded abstraction of the state
+machine instead and checks declarative invariants (the PV4xx rule
+family) on every reachable state.
+
+Layout:
+
+``model``
+    The abstraction itself: symbolic terms (nonces, keys, MACs, seals),
+    world states as hashable named tuples, the six honest protocol
+    entry points as atomic transitions mirroring ``repro.net``, and the
+    adversary's replay/forge/drop/reorder transitions.  Deliberate
+    protocol breakages ("mutations") recreate historical bugs so tests
+    can assert each one produces a counterexample.
+``properties``
+    The PV4xx invariants as pure functions over states and transition
+    events, plus the Dolev-Yao knowledge closure used for secrecy.
+``explorer``
+    Breadth-first search with state hashing, a bounded depth budget and
+    counterexample reconstruction (shortest trace per violated rule).
+``runner``
+    Glue to the TRUST-lint engine: runs every scenario, converts
+    violations into :class:`~repro.analysis.core.Finding` objects
+    anchored at the real ``src/repro/net`` handler they model, and
+    renders traces as message-sequence transcripts via ``TraceHop``.
+
+The package is stdlib-only and never imports ``repro.net`` — CI runs it
+without the numpy/scipy runtime deps, exactly like the rest of
+``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from .model import MUTATIONS, SCENARIOS, VerifyOptions
+from .runner import run_verify
+
+__all__ = ["MUTATIONS", "SCENARIOS", "VerifyOptions", "run_verify"]

@@ -1,0 +1,134 @@
+"""Breadth-first explorer for the abstract TRUST protocol model.
+
+Worlds are hashable named tuples, so the visited set is a plain dict
+``world -> (parent, kind, label, lines, depth)`` doubling as the parent
+pointer for counterexample reconstruction.  BFS gives shortest-first
+discovery, so the first counterexample recorded per rule is minimal in
+transition count.  The exploration is bounded by both depth and total
+state count; an exceeded budget is reported (PV400) rather than
+silently truncating coverage.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from .model import VerifyOptions, World, build_world, canonicalize, successors
+from .properties import close_knowledge, event_violations, state_violations
+
+__all__ = ["Violation", "ScenarioStats", "explore", "explore_scenario"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One counterexample: rule + the trace that reaches it."""
+
+    rule: str
+    message: str
+    scenario: str
+    depth: int
+    steps: tuple  # ((kind, transcript-line), ...) from the initial state
+
+
+@dataclass(frozen=True)
+class ScenarioStats:
+    name: str
+    states: int
+    transitions: int
+    depth: int
+    max_frontier: int
+    exhausted: bool
+    elapsed_s: float
+
+
+def _trace(seen: dict, world, kind: str, label: str, lines: tuple):
+    """Transcript from the initial state through ``world`` plus one step."""
+    chain = []
+    cursor = world
+    while True:
+        parent, pkind, plabel, plines, _d = seen[cursor]
+        if parent is None:
+            break
+        chain.append((pkind, plabel, plines))
+        cursor = parent
+    chain.reverse()
+    chain.append((kind, label, lines))
+    steps = []
+    for skind, slabel, slines in chain:
+        steps.append((skind, f"-- {slabel} --"))
+        steps.extend((skind, line) for line in slines)
+    return tuple(steps)
+
+
+def explore(init: World, opts: VerifyOptions, name: str,
+            ) -> tuple[dict, ScenarioStats]:
+    """Explore from ``init``; return {rule: Violation} + statistics."""
+    start = time.perf_counter()
+    init = canonicalize(init)
+    seen: dict = {init: (None, None, None, (), 0)}
+    queue: deque = deque([init])
+    violations: dict[str, Violation] = {}
+    kmemo: dict = {}
+    devices = tuple(d.name for d in init.devs)
+    transitions = 0
+    max_frontier = 1
+    max_depth = 0
+    truncated = False
+
+    def record(rule, message, world, kind, label, lines, depth):
+        if rule not in violations:
+            violations[rule] = Violation(
+                rule, message, name, depth,
+                _trace(seen, world, kind, label, lines))
+
+    knowledge = close_knowledge(init.pool, devices, kmemo)
+    for rule, message in state_violations(init, knowledge):
+        record(rule, message, init, "init", "initial state", (), 0)
+
+    while queue:
+        world = queue.popleft()
+        depth = seen[world][4]
+        if depth >= opts.depth:
+            continue
+        for kind, label, nxt, events, lines in successors(world, opts):
+            transitions += 1
+            for rule, message in event_violations(events):
+                record(rule, message, world, kind, label, lines,
+                       depth + 1)
+            nxt = canonicalize(nxt)
+            if nxt == world or nxt in seen:
+                continue
+            if len(seen) >= opts.max_states:
+                truncated = True
+                continue
+            seen[nxt] = (world, kind, label, lines, depth + 1)
+            max_depth = max(max_depth, depth + 1)
+            knowledge = close_knowledge(nxt.pool, devices, kmemo)
+            bad = False
+            for rule, message in state_violations(nxt, knowledge):
+                record(rule, message, world, kind, label, lines,
+                       depth + 1)
+                bad = True
+            if not bad:
+                queue.append(nxt)
+            max_frontier = max(max_frontier, len(queue))
+
+    stats = ScenarioStats(
+        name=name, states=len(seen), transitions=transitions,
+        depth=max_depth, max_frontier=max_frontier,
+        exhausted=not truncated,
+        elapsed_s=time.perf_counter() - start)
+    return violations, stats
+
+
+def explore_scenario(scenario, opts: VerifyOptions
+                     ) -> tuple[dict, ScenarioStats]:
+    """Build the scenario's start state, then explore it."""
+    run_opts = VerifyOptions(
+        depth=opts.depth, max_states=opts.max_states,
+        adversary=opts.adversary, malware=opts.malware,
+        mutations=opts.mutations, actions=scenario.actions,
+        risks=scenario.risks)
+    return explore(build_world(scenario), run_opts, scenario.name)

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.crypto import Certificate, CertificateError
 from repro.fingerprint import MasterFingerprint
-from repro.flock import FlockError
+from repro.flock import FlockError, StorageError
 from .channel import UntrustedChannel
 from .device import MobileDevice
 from .message import (
@@ -192,7 +192,9 @@ def login(device: MobileDevice, server: WebServer,
                                              page_envelope.signed_bytes(),
                                              page_envelope.mac):
             return meter.outcome(False, "bad-server-mac")
-    except (ProtocolError, FlockError) as exc:
+    except (ProtocolError, FlockError, StorageError) as exc:
+        # StorageError: the device holds no record for this domain any
+        # more (e.g. it was the source of an identity transfer).
         return meter.outcome(False, f"device-rejected: {exc}")
 
     frame_hash = device.browser.render(page_envelope, flock)
@@ -209,6 +211,12 @@ def login(device: MobileDevice, server: WebServer,
         "frame_hash": frame_hash,
         "risk": float(risk),
     })
+    # The bound per-service key signs the core submission; the session
+    # MAC then covers core + signature.  Without this signature anyone
+    # who can seal a key of their own choosing for the server opens an
+    # authenticated session for the account (see PV402 / TRUST-verify).
+    submission.fields["signature"] = flock.sign_for_service(
+        domain, submission.signed_bytes())
     submission.set_mac(flock.session_mac(domain, submission.signed_bytes()))
     delivered = channel.send(device.browser.outgoing(submission), "to-server")
     if delivered is None:

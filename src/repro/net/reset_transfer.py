@@ -64,4 +64,13 @@ def transfer_identity(old_device: MobileDevice, new_device: MobileDevice,
             f"transfer authorization did not verify in {max_attempts} touches")
     bundle = old_device.flock.export_identity(
         new_device.flock.public_key, authorizing_touch_verified=True)
-    return new_device.flock.import_identity(bundle)
+    domains = new_device.flock.import_identity(bundle)
+    # Retire the old device: after a transfer both FLocks hold the same
+    # per-service keys, so leaving the old records in place keeps two
+    # devices able to authenticate for every account (PV404).  Close any
+    # open sessions and drop the records + pending challenges.
+    for domain in domains:
+        old_device.flock.close_session(domain)
+        old_device.flock.unbind_service(domain)
+        old_device.flock._pending_challenges.pop(domain, None)
+    return domains

@@ -124,6 +124,13 @@ class WebServer:
             raise ProtocolError("bad-password", account)
         self._accounts[account] = _AccountRecord(
             public_key=None, password_hash=record.password_hash)
+        # Terminate the account's live sessions: they were opened under
+        # the binding the reset just revoked, and letting them run on
+        # leaves an authenticated session with no key behind it (PV405).
+        for session_id in [sid for sid, session in self._sessions.items()
+                           if session.account == account]:
+            session = self._sessions.pop(session_id)
+            self._outstanding_nonces.pop(session.expected_nonce, None)
 
     # -------------------------------------------------------------- nonces
     def _fresh_nonce(self, purpose: str) -> bytes:
@@ -213,7 +220,7 @@ class WebServer:
     def handle_login(self, envelope: Envelope) -> Envelope:
         """Step 3: recover the session key, verify, open a session."""
         envelope.require("domain", "account", "nonce", "sealed_session_key",
-                         "frame_hash", "risk", "mac")
+                         "frame_hash", "risk", "signature", "mac")
         if envelope.fields["domain"] != self.domain:
             raise self._reject("wrong-domain", envelope.fields["domain"])
         account = envelope.fields["account"]
@@ -230,6 +237,19 @@ class WebServer:
         expected_mac = hmac_sha256(session_key, envelope.signed_bytes())
         if not constant_time_equal(expected_mac, envelope.mac):
             raise self._reject("bad-mac", "login MAC invalid")
+
+        # The MAC only proves possession of the sealed key — which the
+        # sender chose.  Binding the session to the *account* requires the
+        # device signature under the key registered at Fig. 9 binding;
+        # it covers every field except the signature itself and the MAC.
+        unsigned = Envelope(envelope.msg_type,
+                            {name: value
+                             for name, value in envelope.fields.items()
+                             if name != "signature"})
+        if not record.public_key.verify(unsigned.signed_bytes(),
+                                        envelope.fields["signature"]):
+            raise self._reject("bad-device-signature",
+                               "login not signed by the bound device key")
 
         risk = float(envelope.fields["risk"])
         if risk > self.RISK_TERMINATION_THRESHOLD:

@@ -186,3 +186,74 @@ class TestConfig:
         assert config.is_secret_bytes_name("expected_tag")
         assert not config.is_secret_bytes_name("public_key")
         assert not config.is_secret_bytes_name("key_bits")
+
+
+class TestWorkerRobustness:
+    """A crashing rule or a dead worker pool must not abort the scan."""
+
+    def test_rule_crash_surfaces_file_and_keeps_scanning(self, tmp_path,
+                                                         monkeypatch):
+        from repro.analysis.rules.crypto_discipline import StdlibRandomInCrypto
+
+        _write_pkg(tmp_path, "repro.crypto", "crashy", "x = 1\n")
+        _write_pkg(tmp_path, "repro.crypto", "noisy", "import random\n")
+
+        original = StdlibRandomInCrypto.check
+
+        def exploding(self, ctx, config):
+            if ctx.module.endswith("crashy"):
+                raise RuntimeError("rule exploded")
+            yield from original(self, ctx, config)
+
+        monkeypatch.setattr(StdlibRandomInCrypto, "check", exploding)
+        report = analyze_paths([tmp_path], jobs=1)
+        # The crash is attributed to the file it died on...
+        (crashed,) = [(display, message)
+                      for display, message in report.parse_errors
+                      if "crashy" in display]
+        assert "rule crash: RuntimeError: rule exploded" in crashed[1]
+        # ...and the other file was still scanned normally.
+        assert any(f.rule == "CD201" and "noisy" in f.path
+                   for f in report.findings)
+
+    def test_rule_crash_is_a_failing_exit_code(self, tmp_path, monkeypatch):
+        from repro.analysis.cli import _exit_code
+        from repro.analysis.rules.crypto_discipline import StdlibRandomInCrypto
+
+        _write_pkg(tmp_path, "repro.crypto", "crashy", "x = 1\n")
+
+        def exploding(self, ctx, config):
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        monkeypatch.setattr(StdlibRandomInCrypto, "check", exploding)
+        report = analyze_paths([tmp_path], jobs=1)
+        assert report.parse_errors
+        # Even the laxest threshold cannot mask a crashed worker.
+        assert _exit_code(report, "error") == 1
+
+    def test_broken_pool_falls_back_to_sequential(self, tmp_path,
+                                                  monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.analysis import engine
+
+        _write_pkg(tmp_path, "repro.crypto", "badmod", "import random\n")
+
+        class DyingPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, payloads, chunksize=1):
+                raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", DyingPool)
+        report = analyze_paths([tmp_path], jobs=2)
+        assert not report.parse_errors
+        assert any(f.rule == "CD201" for f in report.findings)

@@ -41,7 +41,7 @@ def _mutate(value, index):
 # The fields of the two post-login message types, by direction.
 REQUEST_FIELDS = ("account", "session", "nonce", "frame_hash", "risk", "mac")
 LOGIN_FIELDS = ("domain", "account", "nonce", "sealed_session_key",
-                "frame_hash", "risk", "mac")
+                "frame_hash", "risk", "signature", "mac")
 
 
 class TestRequestTampering:
@@ -98,7 +98,8 @@ class TestLoginTampering:
             assert not outcome.success
             assert outcome.reason in (
                 "bad-mac", "bad-nonce", "bad-session-key", "wrong-domain",
-                "unknown-account", "malformed-message", "risk-too-high")
+                "unknown-account", "malformed-message", "risk-too-high",
+                "bad-device-signature")
         finally:
             world.device.flock.close_session(world.server.domain)
 
