@@ -24,13 +24,13 @@ Full-system reproduction of Feng, Liu, Carbunar, Boumber & Shi (2012):
 Quickstart::
 
     from repro.eval import standard_deployment, LOGIN_BUTTON_XY
-    from repro.net import login
+    from repro.net import TrustClient
     import numpy as np
 
     world = standard_deployment()
-    outcome = login(world.device, world.server, world.channel,
-                    world.account, LOGIN_BUTTON_XY, world.user_master,
-                    np.random.default_rng(0))
+    client = TrustClient(world.device, world.server, world.channel)
+    outcome = client.login(world.account, LOGIN_BUTTON_XY,
+                           world.user_master, np.random.default_rng(0))
     assert outcome.success
 """
 

@@ -57,6 +57,13 @@ LAYERING: dict[str, frozenset[str]] = {
         "repro.fingerprint", "repro.flock", "repro.hardware", "repro.net",
         "repro.touchgen",
     }),
+    # Fleet-scale simulation runtime: orchestrates everything below it,
+    # but nothing below may reach up into it (caches are injected
+    # duck-typed, never imported from the serving layers).
+    "repro.runtime": frozenset({
+        "repro.core", "repro.crypto", "repro.eval", "repro.fingerprint",
+        "repro.flock", "repro.hardware", "repro.net", "repro.touchgen",
+    }),
 }
 
 
@@ -101,7 +108,7 @@ class AnalysisConfig:
     #: keystroke-dynamics features, ...).
     public_patterns: tuple[str, ...] = (
         "*public*", "*keystroke*", "*keyboard*", "keyword*",
-        "key_bits", "key_size", "key_len", "key_id", "*_key_id",
+        "key_bits", "*_key_bits", "key_size", "key_len", "key_id", "*_key_id",
         "n_template*", "template_id", "*template_count*",
         # Identifiers: derived from secrets but public by design.
         "*_id", "*_ids",

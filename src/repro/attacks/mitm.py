@@ -19,11 +19,9 @@ from repro.crypto import Certificate, HmacDrbg, generate_keypair
 from repro.fingerprint import MasterFingerprint
 from repro.net import (
     MobileDevice,
+    TrustClient,
     UntrustedChannel,
     WebServer,
-    login,
-    register_device,
-    session_request,
 )
 from .base import AttackResult
 
@@ -42,8 +40,8 @@ def tamper_risk_attack(device: MobileDevice, server: WebServer,
         return envelope
 
     channel = UntrustedChannel(tamper_hook=tamper)
-    outcome = login(device, server, channel, account, button_xy, master,
-                    rng, risk=0.4)
+    outcome = TrustClient(device, server, channel).login(
+        account, button_xy, master, rng, risk=0.4)
     succeeded = outcome.success
     device.flock.close_session(server.domain)
     return AttackResult(
@@ -68,8 +66,8 @@ def key_substitution_attack(device: MobileDevice, server: WebServer,
         return envelope
 
     channel = UntrustedChannel(tamper_hook=tamper)
-    outcome = register_device(device, server, channel, account, button_xy,
-                              master, rng)
+    outcome = TrustClient(device, server, channel).register(
+        account, button_xy, master, rng)
     bound_public_key = server.account_key(account)
     hijacked = bound_public_key == attacker_key.public_key
     return AttackResult(
@@ -105,8 +103,8 @@ def certificate_substitution_attack(device: MobileDevice, server: WebServer,
         return envelope
 
     channel = UntrustedChannel(tamper_hook=tamper)
-    outcome = register_device(device, server, channel, account, button_xy,
-                              master, rng)
+    outcome = TrustClient(device, server, channel).register(
+        account, button_xy, master, rng)
     return AttackResult(
         name="mitm-cert-substitution",
         succeeded=outcome.success,

@@ -25,12 +25,9 @@ def replay_trust_traffic(server: WebServer, channel: UntrustedChannel,
     reasons: dict[str, int] = {}
     for record in recorded:
         try:
-            if msg_type == "page-request":
-                server.handle_request(record.envelope.copy())
-            elif msg_type == "login-submit":
-                server.handle_login(record.envelope.copy())
-            else:
-                server.handle_registration(record.envelope.copy())
+            # One uniform entry point: the recorded envelope's own type
+            # tag routes it, exactly as live traffic would be routed.
+            server.dispatch(record.envelope.copy())
             accepted += 1
         except ProtocolError as exc:
             reasons[exc.reason] = reasons.get(exc.reason, 0) + 1

@@ -11,6 +11,8 @@ placement compute the sensor placement for the example users and print
 sensors   print the Table II sensor comparison from the timing model
 audit     run a session with a UI-spoofing malware and show the off-line
           frame-hash audit catching it
+load      run the multi-tenant fleet simulation (N devices over M shards
+          through the dispatch API) and print its metrics report
 """
 
 from __future__ import annotations
@@ -25,23 +27,23 @@ __all__ = ["main"]
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.eval import LOGIN_BUTTON_XY, standard_deployment
-    from repro.net import login, session_request
+    from repro.net import TrustClient
 
     world = standard_deployment(seed=args.seed)
     rng = np.random.default_rng(args.seed)
     print(f"deployment ready: device {world.device.device_id!r} bound to "
           f"account {world.account!r} at {world.server.domain}")
-    outcome = login(world.device, world.server, world.channel, world.account,
-                    LOGIN_BUTTON_XY, world.user_master, rng)
+    client = TrustClient(world.device, world.server, world.channel)
+    outcome = client.login(world.account, LOGIN_BUTTON_XY,
+                           world.user_master, rng)
     print(f"login: {outcome.reason}")
     if not outcome.success:
         return 1
     for index in range(args.requests):
-        result = session_request(world.device, world.server, world.channel,
-                                 outcome.session, risk=0.0, rng=rng,
-                                 touch_xy=LOGIN_BUTTON_XY,
-                                 master=world.user_master,
-                                 time_s=float(index))
+        result = client.request(outcome.session, risk=0.0, rng=rng,
+                                touch_xy=LOGIN_BUTTON_XY,
+                                master=world.user_master,
+                                time_s=float(index))
         print(f"  request {index + 1}: {result.reason}")
     world.device.flock.close_session(world.server.domain)
     return 0
@@ -157,6 +159,26 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.findings else 1
 
 
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro.runtime import FleetConfig, FleetSimulation
+
+    config = FleetConfig(n_devices=args.devices, n_shards=args.shards,
+                         seed=args.seed,
+                         requests_per_device=args.requests)
+    result = FleetSimulation(config).run()
+    print(result.summary)
+    if result.metrics.throughput_rps <= 0:
+        print("\nFAIL: fleet produced no throughput")
+        return 1
+    unexpected = result.unexpected_rejections
+    if unexpected:
+        codes = " ".join(f"{code}={count}"
+                         for code, count in sorted(unexpected.items()))
+        print(f"\nFAIL: unexpected rejection codes: {codes}")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -184,6 +206,15 @@ def main(argv: list[str] | None = None) -> int:
 
     audit = subparsers.add_parser("audit", help="frame-hash audit demo")
     audit.set_defaults(func=_cmd_audit)
+
+    load = subparsers.add_parser("load", help="fleet load simulation")
+    load.add_argument("--devices", type=int, default=1000,
+                      help="fleet size (default 1000)")
+    load.add_argument("--shards", type=int, default=4,
+                      help="web-server replicas (default 4)")
+    load.add_argument("--requests", type=int, default=3,
+                      help="content requests per device (default 3)")
+    load.set_defaults(func=_cmd_load)
 
     args = parser.parse_args(argv)
     return args.func(args)

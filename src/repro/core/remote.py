@@ -18,12 +18,10 @@ from repro.fingerprint import MasterFingerprint
 from repro.net import (
     MobileDevice,
     ProtocolOutcome,
+    TrustClient,
     TrustSession,
     UntrustedChannel,
     WebServer,
-    answer_challenge,
-    login,
-    session_request,
 )
 from repro.touchgen import Gesture, GestureKind
 from .identity_risk import IdentityRiskTracker
@@ -64,6 +62,7 @@ class TrustCoordinator:
         self.channel = channel
         self.account = account
         self.login_button_xy = login_button_xy
+        self.client = TrustClient(device, server, channel)
         self.tracker = tracker if tracker is not None else IdentityRiskTracker()
         self.pipeline = ContinuousAuthPipeline(device.flock, device.panel,
                                                self.tracker)
@@ -72,9 +71,10 @@ class TrustCoordinator:
     def open(self, master: MasterFingerprint, rng: np.random.Generator,
              time_s: float = 0.0) -> ProtocolOutcome:
         """Fig. 10 login, reporting the current window risk."""
-        outcome = login(self.device, self.server, self.channel, self.account,
-                        self.login_button_xy, master, rng,
-                        risk=self.tracker.assess().risk, time_s=time_s)
+        outcome = self.client.login(self.account, self.login_button_xy,
+                                    master, rng,
+                                    risk=self.tracker.assess().risk,
+                                    time_s=time_s)
         self.session = outcome.session
         return outcome
 
@@ -111,18 +111,15 @@ class TrustCoordinator:
                 )
                 continue
 
-            result = session_request(
-                self.device, self.server, self.channel, self.session,
-                risk=risk, rng=rng)
+            result = self.client.request(self.session, risk=risk, rng=rng)
             if result.success:
                 report.requests_ok += 1
                 continue
-            if result.reason == "challenge-required":
+            if result.challenged:
                 # The server demands a fresh verified touch; whoever is
                 # holding the phone answers with *their* finger.
-                challenge_result = answer_challenge(
-                    self.device, self.server, self.channel, self.session,
-                    self.login_button_xy, master, rng,
+                challenge_result = self.client.answer_challenge(
+                    self.session, self.login_button_xy, master, rng,
                     time_s=gesture.end_s + 0.5)
                 if challenge_result.success:
                     report.challenges_answered += 1

@@ -116,16 +116,29 @@ class Certificate:
             raise CertificateError("certificate encoding corrupt")
         return cert
 
-    def verify(self, ca_public_key: RsaPublicKey, now: int,
-               expected_role: str | None = None) -> None:
-        """Validate signature, validity window and (optionally) the role.
+    def fingerprint(self) -> bytes:
+        """SHA-256 digest of the wire form — the memoization key for
+        signature-check caching (covers TBS bytes *and* signature)."""
+        from .sha256 import sha256 as _sha256
+        return _sha256(self.to_bytes())
 
-        Raises :class:`CertificateError` on any failure — callers treat a
-        bad certificate as a hard protocol abort, mirroring step 2 of the
-        Fig. 9 binding process.
+    def signature_valid(self, ca_public_key: RsaPublicKey) -> bool:
+        """Whether the CA signature checks out — the *pure* part of
+        :meth:`verify`.
+
+        This predicate depends only on the certificate bytes and the CA
+        key, never on the clock, so its result is safely memoizable by a
+        verification cache keyed on :meth:`fingerprint`.  Validity-window
+        and role checks stay in :meth:`verify` and must be recomputed on
+        every use.
         """
-        if not ca_public_key.verify(self.tbs_bytes(), self.signature):
-            raise CertificateError(f"bad CA signature on certificate for {self.subject!r}")
+        return ca_public_key.verify(self.tbs_bytes(), self.signature)
+
+    def check_constraints(self, now: int,
+                          expected_role: str | None = None) -> None:
+        """Validity-window and role checks — the *time-dependent* part of
+        :meth:`verify`, recomputed on every use even when the signature
+        verdict comes from a cache."""
         if not (self.not_before <= now <= self.not_after):
             raise CertificateError(
                 f"certificate for {self.subject!r} outside validity "
@@ -136,6 +149,18 @@ class Certificate:
                 f"certificate for {self.subject!r} has role {self.role!r}, "
                 f"expected {expected_role!r}"
             )
+
+    def verify(self, ca_public_key: RsaPublicKey, now: int,
+               expected_role: str | None = None) -> None:
+        """Validate signature, validity window and (optionally) the role.
+
+        Raises :class:`CertificateError` on any failure — callers treat a
+        bad certificate as a hard protocol abort, mirroring step 2 of the
+        Fig. 9 binding process.
+        """
+        if not self.signature_valid(ca_public_key):
+            raise CertificateError(f"bad CA signature on certificate for {self.subject!r}")
+        self.check_constraints(now, expected_role)
 
 
 class CertificateAuthority:

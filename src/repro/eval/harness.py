@@ -21,7 +21,7 @@ from repro.fingerprint import (
     enroll_master,
     synthesize_master,
 )
-from repro.net import MobileDevice, UntrustedChannel, WebServer, register_device
+from repro.net import MobileDevice, TrustClient, UntrustedChannel, WebServer
 
 __all__ = ["Deployment", "standard_deployment", "LOGIN_BUTTON_XY"]
 
@@ -77,8 +77,8 @@ def _cached_deployment(seed: int, processor_mode: str,
         impostor_master=impostor_master,
     )
     if registered:
-        outcome = register_device(device, server, channel, "alice",
-                                  LOGIN_BUTTON_XY, user_master,
+        client = TrustClient(device, server, channel)
+        outcome = client.register("alice", LOGIN_BUTTON_XY, user_master,
                                   np.random.default_rng(seed + 2))
         if not outcome.success:
             raise RuntimeError(f"deployment registration failed: {outcome.reason}")

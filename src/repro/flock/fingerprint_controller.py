@@ -63,9 +63,15 @@ class FingerprintController:
     def __init__(self, layout: SensorLayout, margin_mm: float = CAPTURE_MARGIN_MM) -> None:
         self.layout = layout
         self.margin_mm = float(margin_mm)
-        self._arrays = {id(s): SensorArray(s.spec) for s in layout.sensors}
+        # Indexed by layout position, not object identity: layouts forbid
+        # overlapping sensors, so positions are unique — and positional
+        # keys survive deepcopy (the fleet factory clones whole devices).
+        self._arrays = [SensorArray(s.spec) for s in layout.sensors]
         self.touches_routed = 0
         self.touches_captured = 0
+
+    def _array_for(self, sensor: PlacedSensor) -> SensorArray:
+        return self._arrays[self.layout.sensors.index(sensor)]
 
     def sensor_for(self, touch: LocatedTouch) -> PlacedSensor | None:
         """Fig. 6 decision 1: the sensor usably covering this touch."""
@@ -102,7 +108,7 @@ class FingerprintController:
         contact_scale = min(0.55 + 0.9 * event.pressure, 1.1)
         dropout = 0.02 + max(0.0, 0.30 - event.pressure) * 0.5
         scan_time = (PANEL_SETTLE_S
-                     + self._arrays[id(sensor)].capture_time_s(window))
+                     + self._array_for(sensor).capture_time_s(window))
         condition = CaptureCondition(
             center=(float(rng.uniform(0.3, 0.7) * master.shape[0]),
                     float(rng.uniform(0.3, 0.7) * master.shape[1])),
@@ -113,7 +119,7 @@ class FingerprintController:
             noise=0.05,
             dropout=min(dropout, 0.5),
         )
-        array = self._arrays[id(sensor)]
+        array = self._array_for(sensor)
         impression = render_impression(
             master, condition, rng,
             output_shape=(window.n_rows, window.n_cols))

@@ -47,6 +47,18 @@ EXTRACTION_CELLS_PER_S = 40_000_000
 MATCH_TIME_S = 0.004
 
 
+def _minutiae_digest(minutiae) -> bytes:
+    """Canonical SHA-256 digest of a minutiae set (match-cache key).
+
+    Position/direction floats are serialized via ``repr`` (exact), so two
+    digests are equal iff the two sets would match identically.
+    """
+    from repro.crypto import sha256
+    parts = [f"{m.row!r},{m.col!r},{m.direction!r},{m.kind}"
+             for m in minutiae]
+    return sha256("|".join(parts).encode("utf-8"))
+
+
 @dataclass(frozen=True)
 class AuthDecision:
     """Outcome of authenticating one capture."""
@@ -91,6 +103,11 @@ class ImageFingerprintProcessor:
         self.use_enhancement = bool(use_enhancement)
         self.enhanced_threshold = float(enhanced_threshold)
         self.enhancement_passes = 0
+        #: Optional duck-typed memoizer (``memoize(kind, key, compute)``)
+        #: for template-match scores, keyed on (template, probe) minutiae
+        #: digests.  Matching is a pure function of the two minutiae sets,
+        #: so a cached score is exactly the recomputed score.
+        self.match_cache = None
 
     @property
     def template(self) -> FingerprintTemplate:
@@ -103,6 +120,23 @@ class ImageFingerprintProcessor:
             raise ValueError(
                 f"finger {template.finger_id!r} is already enrolled")
         self.templates.append(template)
+
+    def _match_score(self, template: FingerprintTemplate,
+                     minutiae, probe_digest: bytes | None) -> float:
+        """Score one probe against one template, via the cache if set."""
+        if self.match_cache is None or probe_digest is None:
+            return self.matcher.match(template.minutiae, minutiae).score
+        return self.match_cache.memoize(
+            "template-match",
+            _minutiae_digest(template.minutiae) + probe_digest,
+            lambda: self.matcher.match(template.minutiae, minutiae).score)
+
+    def _best_score(self, minutiae) -> float:
+        """Best score of one probe across every enrolled template."""
+        probe_digest = (_minutiae_digest(minutiae)
+                        if self.match_cache is not None else None)
+        return max(self._match_score(template, minutiae, probe_digest)
+                   for template in self.templates)
 
     def authenticate(self, capture: TouchCapture,
                      rng: SimulationRng) -> AuthDecision:
@@ -118,10 +152,7 @@ class ImageFingerprintProcessor:
             # Too few features to attempt a match: treated as a quality
             # rejection (Fig. 6 "incomplete data"), not an impostor signal.
             return AuthDecision(False, report, 0.0, False, extraction_time)
-        best_score = max(
-            self.matcher.match(template.minutiae, minutiae).score
-            for template in self.templates
-        )
+        best_score = self._best_score(minutiae)
         total_time = extraction_time + MATCH_TIME_S * len(self.templates)
         accepted = best_score >= self.accept_threshold
 
@@ -134,10 +165,7 @@ class ImageFingerprintProcessor:
                                                  capture.impression.mask)
             if len(enhanced) >= 4:
                 self.enhancement_passes += 1
-                enhanced_score = max(
-                    self.matcher.match(template.minutiae, enhanced).score
-                    for template in self.templates
-                )
+                enhanced_score = self._best_score(enhanced)
                 total_time += (extraction_time
                                + MATCH_TIME_S * len(self.templates))
                 if enhanced_score >= self.enhanced_threshold:

@@ -130,6 +130,18 @@ class FlockModule:
         """Whether a local user template is enrolled."""
         return self._local_processor is not None
 
+    def install_verification_cache(self, cache) -> None:
+        """Attach a duck-typed match-score memoizer to the local processor.
+
+        ``cache`` must expose ``memoize(kind, key, compute)``.  Only the
+        image processor matches minutiae (a pure function of the two sets),
+        so only it benefits; the modeled processor draws random scores and
+        is left untouched.
+        """
+        if self._local_processor is not None and hasattr(
+                self._local_processor, "match_cache"):
+            self._local_processor.match_cache = cache
+
     def enroll_additional_finger(self, template: FingerprintTemplate) -> None:
         """Add another finger to the local identity (same user).
 

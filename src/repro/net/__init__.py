@@ -6,23 +6,34 @@ authentication protocols over an adversary-observable channel.
 """
 
 from .message import (
+    MSG_CHALLENGE,
+    MSG_CHALLENGE_RESPONSE,
     MSG_CONTENT_PAGE,
     MSG_LOGIN_PAGE,
     MSG_LOGIN_SUBMIT,
     MSG_PAGE_REQUEST,
     MSG_REGISTRATION_PAGE,
     MSG_REGISTRATION_SUBMIT,
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     Envelope,
     ProtocolError,
     canonical_payload,
+    decode_envelope,
+    encode_envelope,
 )
 from .channel import ChannelRecord, UntrustedChannel
-from .webserver import SessionState, WebServer
+from .webserver import Endpoint, SessionState, WebServer
 from .browser import Browser, Malware
 from .device import MobileDevice, default_layout
 from .protocol import (
     answer_challenge,
+    ChallengeResult,
+    LoginResult,
     ProtocolOutcome,
+    RegistrationResult,
+    RequestResult,
+    TrustClient,
     TrustSession,
     login,
     register_device,
@@ -34,14 +45,18 @@ from .cookies import cookie_size_bytes, decode_cookie, encode_cookie
 
 __all__ = [
     "Envelope", "ProtocolError", "canonical_payload",
+    "PROTOCOL_VERSION", "SUPPORTED_PROTOCOL_VERSIONS",
+    "encode_envelope", "decode_envelope",
     "MSG_REGISTRATION_PAGE", "MSG_REGISTRATION_SUBMIT", "MSG_LOGIN_PAGE",
     "MSG_LOGIN_SUBMIT", "MSG_CONTENT_PAGE", "MSG_PAGE_REQUEST",
+    "MSG_CHALLENGE", "MSG_CHALLENGE_RESPONSE",
     "ChannelRecord", "UntrustedChannel",
-    "SessionState", "WebServer",
+    "Endpoint", "SessionState", "WebServer",
     "Browser", "Malware",
     "MobileDevice", "default_layout",
-    "ProtocolOutcome", "TrustSession", "register_device", "login",
-    "session_request", "answer_challenge",
+    "ProtocolOutcome", "RegistrationResult", "LoginResult", "RequestResult",
+    "ChallengeResult", "TrustClient", "TrustSession",
+    "register_device", "login", "session_request", "answer_challenge",
     "TransferError", "reset_identity", "transfer_identity",
     "AuditFinding", "AuditReport", "FrameAuditor",
     "encode_cookie", "decode_cookie", "cookie_size_bytes",

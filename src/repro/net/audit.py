@@ -85,7 +85,10 @@ class FrameAuditor:
         if self._whitelist is None:
             hashes: set[bytes] = set()
             for page in self._pages():
-                for view in Frame(page).reachable_views(self.max_scroll_px):
+                # Field-based overtaint: the deployment seed string taints
+                # every `.server` attribute once a client facade stores one;
+                # the pages enumerated here are public HTML, not secrets.
+                for view in Frame(page).reachable_views(self.max_scroll_px):  # trust-lint: disable=SF111
                     hashes.add(self.engine.hash_frame(view))
             self._whitelist = hashes
         return self._whitelist

@@ -16,6 +16,10 @@ __all__ = [
     "ProtocolError",
     "canonical_payload",
     "Envelope",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
+    "encode_envelope",
+    "decode_envelope",
     "MSG_REGISTRATION_PAGE",
     "MSG_REGISTRATION_SUBMIT",
     "MSG_LOGIN_PAGE",
@@ -25,6 +29,16 @@ __all__ = [
     "MSG_CHALLENGE",
     "MSG_CHALLENGE_RESPONSE",
 ]
+
+#: The wire-schema version this code base speaks.  Version 1 is the frozen
+#: byte format of every stored replay/fuzz corpus; new versions must be
+#: added to :data:`SUPPORTED_PROTOCOL_VERSIONS` explicitly, and decoding an
+#: unknown version fails closed with a stable reason code.
+PROTOCOL_VERSION = 1
+
+#: Versions an endpoint will accept.  Strictly checked both by
+#: :func:`decode_envelope` and by ``WebServer.dispatch``.
+SUPPORTED_PROTOCOL_VERSIONS = frozenset({1})
 
 
 class ProtocolError(Exception):
@@ -77,10 +91,16 @@ class Envelope:
     The envelope is deliberately a plain mutable container: the untrusted
     channel and the malware-controlled browser are *supposed* to be able to
     tamper with it.  Security comes from verification, not encapsulation.
+
+    ``version`` tags the wire schema the envelope was built for; endpoints
+    reject versions outside :data:`SUPPORTED_PROTOCOL_VERSIONS` with the
+    stable reason code ``unsupported-version``.  The v1 MAC input
+    (:meth:`signed_bytes`) is frozen byte-for-byte.
     """
 
     msg_type: str
     fields: dict = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
 
     @property
     def mac(self) -> bytes:
@@ -109,4 +129,104 @@ class Envelope:
 
     def copy(self) -> "Envelope":
         """Shallow-field copy (what the channel hands adversaries)."""
-        return Envelope(self.msg_type, dict(self.fields))
+        return Envelope(self.msg_type, dict(self.fields), self.version)
+
+
+# --------------------------------------------------------------- wire codec
+# A strict, reversible byte serialization for envelopes — the format replay
+# and fuzz corpora are stored in.  Unlike the canonical MAC encoding above
+# (which is append-only frozen for v1), the codec escapes every value
+# hex-safe so arbitrary field content round-trips exactly.
+
+_WIRE_MAGIC = "trust-envelope"
+
+
+def _encode_wire_value(value) -> str:
+    if isinstance(value, bytes):
+        return "b:" + value.hex()
+    if isinstance(value, bool):
+        return "B:" + ("1" if value else "0")
+    if isinstance(value, int):
+        return "i:" + str(value)
+    if isinstance(value, float):
+        return "f:" + repr(value)
+    if isinstance(value, str):
+        return "s:" + value.encode("utf-8").hex()
+    raise TypeError(f"unsupported field type {type(value).__name__}")
+
+
+def _decode_wire_value(encoded: str):
+    tag, _, body = encoded.partition(":")
+    try:
+        if tag == "b":
+            return bytes.fromhex(body)
+        if tag == "B":
+            if body not in ("0", "1"):
+                raise ValueError(f"bad bool literal {body!r}")
+            return body == "1"
+        if tag == "i":
+            return int(body)
+        if tag == "f":
+            return float(body)
+        if tag == "s":
+            return bytes.fromhex(body).decode("utf-8")
+    except ValueError as exc:
+        raise ProtocolError("malformed-message",
+                            f"bad {tag!r} value: {exc}") from exc
+    raise ProtocolError("malformed-message", f"unknown value tag {tag!r}")
+
+
+def encode_envelope(envelope: Envelope) -> bytes:
+    """Serialize an envelope to its versioned wire form."""
+    lines = [f"{_WIRE_MAGIC} v{envelope.version} {envelope.msg_type}"]
+    for field_name in sorted(envelope.fields):
+        if "=" in field_name or "\n" in field_name:
+            # Field-based overtaint (names via sorted(fields) pick up the
+            # taint of the dict's values); a wire field *name* is protocol
+            # metadata, never a secret.
+            raise TypeError(f"field name {field_name!r} is not wire-safe")  # trust-lint: disable=SF110
+        lines.append(
+            f"{field_name}={_encode_wire_value(envelope.fields[field_name])}")
+    return "\n".join(lines).encode("utf-8")
+
+
+def decode_envelope(data: bytes) -> Envelope:
+    """Parse wire bytes back into an :class:`Envelope`, strictly.
+
+    Every malformation — bad magic, bad header, duplicate fields,
+    unparseable values — raises :class:`ProtocolError` with reason
+    ``malformed-message``; a well-formed envelope of a version outside
+    :data:`SUPPORTED_PROTOCOL_VERSIONS` raises reason
+    ``unsupported-version``.  Nothing else escapes.
+    """
+    try:
+        text = data.decode("utf-8")
+    except (UnicodeDecodeError, AttributeError) as exc:
+        raise ProtocolError("malformed-message",
+                            f"undecodable envelope bytes: {exc}") from exc
+    lines = text.split("\n")
+    header = lines[0].split(" ")
+    if len(header) != 3 or header[0] != _WIRE_MAGIC:
+        raise ProtocolError("malformed-message", "bad envelope header")
+    _, version_tag, msg_type = header
+    if not version_tag.startswith("v") or not version_tag[1:].isdigit():
+        raise ProtocolError("malformed-message",
+                            f"bad version tag {version_tag!r}")
+    version = int(version_tag[1:])
+    if version not in SUPPORTED_PROTOCOL_VERSIONS:
+        raise ProtocolError("unsupported-version",
+                            f"envelope version {version} not in "
+                            f"{sorted(SUPPORTED_PROTOCOL_VERSIONS)}")
+    if not msg_type:
+        raise ProtocolError("malformed-message", "empty message type")
+    fields: dict = {}
+    for line in lines[1:]:
+        field_name, sep, value = line.partition("=")
+        if not sep or not field_name:
+            raise ProtocolError("malformed-message",
+                                f"bad field line {line!r}")
+        if field_name in fields:
+            raise ProtocolError("malformed-message",
+                                f"duplicate field {field_name!r}")
+        fields[field_name] = _decode_wire_value(value)
+    return Envelope(msg_type, fields, version)

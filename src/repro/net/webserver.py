@@ -7,12 +7,22 @@ hashes (what each user actually saw when they acted) and per-request risk
 reports.  Every verification failure raises :class:`ProtocolError` with a
 stable reason code and increments a rejection counter — the attack
 benchmarks assert on those codes.
+
+Inbound traffic enters through **one** uniform entry point,
+:meth:`WebServer.dispatch`, which routes on the envelope's ``MSG_*`` type
+over the typed :data:`WebServer.ENDPOINTS` registry.  The historical
+``handle_*`` methods survive as thin deprecated wrappers so existing
+callers (and the TRUST-verify small models anchored on their names) keep
+working; new code — and the ``repro.runtime`` fleet scheduler — must go
+through ``dispatch``.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.crypto import (
     Certificate,
@@ -28,17 +38,41 @@ from repro.crypto import (
 )
 from .message import (
     MSG_CHALLENGE,
+    MSG_CHALLENGE_RESPONSE,
     MSG_CONTENT_PAGE,
     MSG_LOGIN_PAGE,
     MSG_LOGIN_SUBMIT,
     MSG_PAGE_REQUEST,
     MSG_REGISTRATION_PAGE,
     MSG_REGISTRATION_SUBMIT,
+    SUPPORTED_PROTOCOL_VERSIONS,
     Envelope,
     ProtocolError,
 )
 
-__all__ = ["SessionState", "WebServer"]
+__all__ = ["Endpoint", "SessionState", "WebServer"]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One entry in the server's typed dispatch registry."""
+
+    msg_type: str
+    handler: "Callable[[WebServer, Envelope, int], Envelope]"
+    summary: str
+
+    @property
+    def name(self) -> str:
+        """The handler's method name (used in metrics and errors)."""
+        return self.handler.__name__
+
+
+def _endpoint(registry: dict, msg_type: str, summary: str):
+    """Class-body decorator registering a method as a dispatch endpoint."""
+    def wrap(method):
+        registry[msg_type] = Endpoint(msg_type, method, summary)
+        return method
+    return wrap
 
 #: Domain-separation prefix for FLock challenge attestations; must match
 #: :attr:`repro.flock.FlockModule.ATTEST_PREFIX` (the module produces the
@@ -81,8 +115,14 @@ class WebServer:
     #: remote analogue of the paper's CHALLENGE response.
     RISK_CHALLENGE_THRESHOLD = 0.5
 
+    #: Typed dispatch registry: ``MSG_*`` type -> :class:`Endpoint`.
+    #: Populated by the ``@_endpoint`` decorators on the ``_serve_*``
+    #: methods below; shared by all instances (handlers are unbound).
+    ENDPOINTS: dict[str, Endpoint] = {}
+
     def __init__(self, domain: str, ca: CertificateAuthority, seed: bytes,
-                 key_bits: int = 1024, now: int = 0) -> None:
+                 key_bits: int = 1024, now: int = 0,
+                 verification_cache=None) -> None:
         self.domain = domain
         self.ca = ca
         self._rng = HmacDrbg(seed, personalization=domain.encode())
@@ -94,6 +134,10 @@ class WebServer:
         self._outstanding_nonces: dict[bytes, str] = {}  # nonce -> purpose
         self.frame_audit_log: list[tuple[str, bytes]] = []
         self.rejections: Counter = Counter()
+        self.endpoint_calls: Counter = Counter()
+        # Duck-typed memoizer (``memoize(kind, key, compute)``); only the
+        # clock-independent signature predicate ever goes through it.
+        self.verification_cache = verification_cache
         self.pages: dict[str, bytes] = {
             "registration": b"<html>register at " + domain.encode() + b"</html>",
             "login": b"<html>login to " + domain.encode() + b"</html>",
@@ -132,6 +176,36 @@ class WebServer:
             session = self._sessions.pop(session_id)
             self._outstanding_nonces.pop(session.expected_nonce, None)
 
+    # ---------------------------------------------------- account migration
+    # Per-account sharding support (repro.runtime): a pool of replicas can
+    # move an account's server-side state between shards.  The record is an
+    # opaque token — callers transport it, they never look inside.
+
+    def accounts(self) -> list[str]:
+        """All account names provisioned on this replica, sorted."""
+        return sorted(self._accounts)
+
+    def export_account(self, account: str) -> "_AccountRecord":
+        """Remove and return an account's record for migration.
+
+        The account's live sessions are terminated: they were opened
+        against this replica's nonce state, which does not migrate.
+        """
+        record = self._accounts.pop(account, None)
+        if record is None:
+            raise ProtocolError("unknown-account", account)
+        for session_id in [sid for sid, session in self._sessions.items()
+                           if session.account == account]:
+            session = self._sessions.pop(session_id)
+            self._outstanding_nonces.pop(session.expected_nonce, None)
+        return record
+
+    def import_account(self, account: str, record: "_AccountRecord") -> None:
+        """Adopt an account record exported from another replica."""
+        if account in self._accounts:
+            raise ValueError(f"account {account!r} exists")
+        self._accounts[account] = record
+
     # -------------------------------------------------------------- nonces
     def _fresh_nonce(self, purpose: str) -> bytes:
         nonce = self._rng.generate(16)
@@ -150,6 +224,40 @@ class WebServer:
         self.rejections[reason] += 1
         return ProtocolError(reason, detail)
 
+    # ------------------------------------------------------------ dispatch
+    def dispatch(self, envelope: Envelope, now: int = 0) -> Envelope:
+        """The uniform inbound entry point: route by message type.
+
+        Checks the envelope's wire-schema version, looks the type up in
+        :data:`ENDPOINTS` and invokes the endpoint handler with the
+        caller's clock.  Rejections use the same stable reason codes as
+        everything else: ``unsupported-version`` for a version outside
+        :data:`~repro.net.message.SUPPORTED_PROTOCOL_VERSIONS` and
+        ``unknown-endpoint`` for an unregistered message type.
+        """
+        if envelope.version not in SUPPORTED_PROTOCOL_VERSIONS:
+            raise self._reject("unsupported-version",
+                               f"envelope version {envelope.version} not in "
+                               f"{sorted(SUPPORTED_PROTOCOL_VERSIONS)}")
+        endpoint = self.ENDPOINTS.get(envelope.msg_type)
+        if endpoint is None:
+            raise self._reject("unknown-endpoint", envelope.msg_type)
+        self.endpoint_calls[envelope.msg_type] += 1
+        return endpoint.handler(self, envelope, now)
+
+    def _cert_signature_valid(self, cert: Certificate) -> bool:
+        """CA-signature predicate, memoized when a cache is installed.
+
+        Only the pure signature check is cached (keyed on the full cert
+        fingerprint); validity-window and role constraints are
+        clock-dependent and recomputed by the caller every time.
+        """
+        if self.verification_cache is None:
+            return cert.signature_valid(self.ca.public_key)
+        return self.verification_cache.memoize(
+            "cert-signature", cert.fingerprint(),
+            lambda: cert.signature_valid(self.ca.public_key))
+
     # -------------------------------------------------- Fig. 9 registration
     def registration_page(self) -> Envelope:
         """Step 1: page + cert + fresh nonce, signed by the server key."""
@@ -161,7 +269,9 @@ class WebServer:
         })
         return envelope.set_mac(self._key.sign(envelope.signed_bytes()))
 
-    def handle_registration(self, envelope: Envelope, now: int = 0) -> Envelope:
+    @_endpoint(ENDPOINTS, MSG_REGISTRATION_SUBMIT,
+               "Fig. 9 step 5: bind an account to a device public key")
+    def _serve_registration(self, envelope: Envelope, now: int) -> Envelope:
         """Step 5: verify the submission, bind account -> public key."""
         envelope.require("domain", "account", "nonce", "user_public_key",
                          "frame_hash", "device_cert", "mac")
@@ -177,8 +287,11 @@ class WebServer:
 
         try:
             device_cert = Certificate.from_bytes(envelope.fields["device_cert"])
-            device_cert.verify(self.ca.public_key, now,
-                               expected_role="flock-device")
+            if not self._cert_signature_valid(device_cert):
+                raise CertificateError(
+                    f"bad CA signature on certificate for "
+                    f"{device_cert.subject!r}")
+            device_cert.check_constraints(now, expected_role="flock-device")
         except CertificateError as exc:
             raise self._reject("bad-device-cert", str(exc)) from exc
         if not device_cert.public_key.verify(envelope.signed_bytes(),
@@ -217,7 +330,9 @@ class WebServer:
         })
         return envelope.set_mac(self._key.sign(envelope.signed_bytes()))
 
-    def handle_login(self, envelope: Envelope) -> Envelope:
+    @_endpoint(ENDPOINTS, MSG_LOGIN_SUBMIT,
+               "Fig. 10 step 3: open a session from a login submission")
+    def _serve_login(self, envelope: Envelope, now: int) -> Envelope:
         """Step 3: recover the session key, verify, open a session."""
         envelope.require("domain", "account", "nonce", "sealed_session_key",
                          "frame_hash", "risk", "signature", "mac")
@@ -275,7 +390,9 @@ class WebServer:
         return page.set_mac(hmac_sha256(session_key, page.signed_bytes()))
 
     # ---------------------------------------- Fig. 10 continuous requests
-    def handle_request(self, envelope: Envelope) -> Envelope:
+    @_endpoint(ENDPOINTS, MSG_PAGE_REQUEST,
+               "Fig. 10 step 4: serve one continuously-authenticated page")
+    def _serve_request(self, envelope: Envelope, now: int) -> Envelope:
         """Step 4 (repeated): verify a post-login request, serve a page."""
         envelope.require("account", "session", "nonce", "frame_hash",
                          "risk", "mac")
@@ -337,7 +454,9 @@ class WebServer:
         return page.set_mac(hmac_sha256(session.session_key,
                                         page.signed_bytes()))
 
-    def handle_challenge_response(self, envelope: Envelope) -> Envelope:
+    @_endpoint(ENDPOINTS, MSG_CHALLENGE_RESPONSE,
+               "Resume a session from a FLock-attested challenge answer")
+    def _serve_challenge_response(self, envelope: Envelope, now: int) -> Envelope:
         """Verify a FLock challenge attestation; resume the session."""
         envelope.require("account", "session", "nonce", "attestation", "mac")
         session = self._sessions.get(envelope.fields["session"])
@@ -375,6 +494,41 @@ class WebServer:
         })
         return page.set_mac(hmac_sha256(session.session_key,
                                         page.signed_bytes()))
+
+    # -------------------------------------------------- deprecated surface
+    # The pre-dispatch entry points.  Each wrapper calls its endpoint
+    # implementation *directly* (not via message-type routing) so legacy
+    # semantics are preserved exactly — e.g. the replay benchmark pushes a
+    # mistyped envelope through handle_request on purpose.  New code must
+    # use :meth:`dispatch`.
+
+    def handle_registration(self, envelope: Envelope, now: int = 0) -> Envelope:
+        """Deprecated: use :meth:`dispatch`."""
+        warnings.warn("WebServer.handle_registration is deprecated; "
+                      "route through WebServer.dispatch",
+                      DeprecationWarning, stacklevel=2)
+        return self._serve_registration(envelope, now)
+
+    def handle_login(self, envelope: Envelope) -> Envelope:
+        """Deprecated: use :meth:`dispatch`."""
+        warnings.warn("WebServer.handle_login is deprecated; "
+                      "route through WebServer.dispatch",
+                      DeprecationWarning, stacklevel=2)
+        return self._serve_login(envelope, 0)
+
+    def handle_request(self, envelope: Envelope) -> Envelope:
+        """Deprecated: use :meth:`dispatch`."""
+        warnings.warn("WebServer.handle_request is deprecated; "
+                      "route through WebServer.dispatch",
+                      DeprecationWarning, stacklevel=2)
+        return self._serve_request(envelope, 0)
+
+    def handle_challenge_response(self, envelope: Envelope) -> Envelope:
+        """Deprecated: use :meth:`dispatch`."""
+        warnings.warn("WebServer.handle_challenge_response is deprecated; "
+                      "route through WebServer.dispatch",
+                      DeprecationWarning, stacklevel=2)
+        return self._serve_challenge_response(envelope, 0)
 
     # ---------------------------------------------------------- audit API
     def session(self, session_id: str) -> SessionState | None:

@@ -1,0 +1,86 @@
+"""Digest-keyed verification-result cache with hit-rate accounting.
+
+Fleet-scale simulation repeats a lot of *pure* verification work: every
+registration presents a CA-signed device certificate (devices cloned from
+the same manufacturing prototype share one), and every image-mode match
+scores the same (template, probe) minutiae pair the same way.  The cache
+memoizes exactly those clock-independent predicates, keyed on content
+digests, so a cached answer is byte-identical to a recomputed one.
+
+The cache is deliberately duck-typed: consumers (``WebServer``,
+``ImageFingerprintProcessor``) only call ``memoize(kind, key, compute)``
+and never import this module, keeping the layering DAG acyclic.  Anything
+clock- or policy-dependent (certificate validity windows, role checks,
+risk thresholds) must stay outside the cache and be recomputed per use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+
+__all__ = ["VerificationCache"]
+
+
+class VerificationCache:
+    """LRU memoizer for pure verification predicates.
+
+    Entries are keyed ``(kind, key)`` where ``kind`` names the predicate
+    ("cert-signature", "template-match", ...) and ``key`` is a content
+    digest covering *every* input of the computation.  Per-kind hit/miss
+    counters feed the fleet metrics layer.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None)")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[tuple[str, bytes], object]" = OrderedDict()
+        self.hits: Counter = Counter()
+        self.misses: Counter = Counter()
+        self.evictions = 0
+
+    def memoize(self, kind: str, key: bytes, compute):
+        """Return the cached result for ``(kind, key)`` or compute it."""
+        slot = (kind, key)
+        if slot in self._store:
+            self.hits[kind] += 1
+            self._store.move_to_end(slot)
+            return self._store[slot]
+        self.misses[kind] += 1
+        value = compute()
+        self._store[slot] = value
+        if self.max_entries is not None and len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    # ------------------------------------------------------------ accounting
+    def lookups(self, kind: str | None = None) -> int:
+        """Total lookups, overall or for one predicate kind."""
+        if kind is not None:
+            return self.hits[kind] + self.misses[kind]
+        return sum(self.hits.values()) + sum(self.misses.values())
+
+    def hit_rate(self, kind: str | None = None) -> float:
+        """Fraction of lookups answered from cache (0.0 when unused)."""
+        total = self.lookups(kind)
+        if total == 0:
+            return 0.0
+        hits = self.hits[kind] if kind is not None else sum(self.hits.values())
+        return hits / total
+
+    def stats(self) -> list[tuple[str, int, int, float]]:
+        """Sorted per-kind rows: (kind, hits, misses, hit_rate)."""
+        kinds = sorted(set(self.hits) | set(self.misses))
+        return [(kind, self.hits[kind], self.misses[kind],
+                 self.hit_rate(kind)) for kind in kinds]
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all entries and counters."""
+        self._store.clear()
+        self.hits.clear()
+        self.misses.clear()
+        self.evictions = 0

@@ -1,0 +1,168 @@
+"""Fleet construction: configuration, cheap device cloning, device actors.
+
+Building one honest TRUST device costs an RSA key generation plus a
+fingerprint enrollment — fine for a benchmark of one, ruinous for a fleet
+of thousands.  The factory amortizes both:
+
+- **Prototype cloning** — a handful of fully-built prototype devices are
+  ``deepcopy``-cloned per fleet member; each clone gets a fresh DRBG (so
+  nonces/session keys diverge) but keeps the prototype's built-in device
+  key and CA certificate, like handsets sharing a manufacturing batch's
+  attestation material.  A visible consequence: registrations present only
+  ``prototype_count`` distinct certificates, which is what gives the
+  shared cert-signature cache its fleet hit rate.
+- **Service-keypair pool** — per-service key generation (Fig. 9 step 2)
+  draws from a pre-generated pool via ``CryptoProcessor.keypair_source``;
+  the *modeled* keygen latency is still accounted, so reported protocol
+  costs are unchanged — only host wall-clock shrinks.
+
+All randomness derives from ``FleetConfig.seed`` through per-actor
+``numpy`` generators keyed by device index, so construction is independent
+of call order.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto import CertificateAuthority, HmacDrbg, generate_keypair
+from repro.fingerprint import DEFAULT_PARTIAL_MODEL, enroll_master, synthesize_master
+from repro.net import MobileDevice, TrustClient, TrustSession
+
+__all__ = ["BUTTON_XY", "FleetConfig", "DeviceFactory", "DeviceActor",
+           "draw_risk"]
+
+#: Where fleet users press login/confirm buttons: over the bottom-centre
+#: sensor of the default layout (same spot as ``repro.eval``'s harness).
+BUTTON_XY = (28.0, 80.0)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet scenario: population, sharding, workload mix, seeds."""
+
+    n_devices: int = 1000
+    n_shards: int = 4
+    seed: int = 7
+    #: Content pages each device requests after login.
+    requests_per_device: int = 3
+    #: Fraction of requests reporting marginal risk (0.5, 0.75) — the
+    #: server withholds content and demands a re-attested touch.
+    challenge_fraction: float = 0.08
+    #: Fraction of requests reporting breach-level risk (> 0.75) — the
+    #: server terminates the session (``risk-too-high``).
+    hijack_fraction: float = 0.01
+    processor_mode: str = "modeled"
+    #: Key sizes are deliberately small: fleet runs measure *scheduling*,
+    #: not RSA arithmetic; protocol costs use modeled latencies anyway.
+    device_key_bits: int = 512
+    server_key_bits: int = 512
+    ca_key_bits: int = 512
+    prototype_count: int = 4
+    keypair_pool_size: int = 8
+    #: Device start times are spread uniformly over this window.
+    ramp_s: float = 30.0
+    #: Mean think time between a device's interactions (exponential).
+    think_time_s: float = 2.0
+    network_rtt_s: float = 0.040
+    domain: str = "www.fleet.example"
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ValueError("n_devices must be positive")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        if self.requests_per_device < 0:
+            raise ValueError("requests_per_device must be >= 0")
+        if self.prototype_count < 1 or self.keypair_pool_size < 1:
+            raise ValueError("prototype/keypair pools must be non-empty")
+        if not 0.0 <= self.challenge_fraction + self.hijack_fraction <= 1.0:
+            raise ValueError("challenge + hijack fractions must fit in [0, 1]")
+        if self.processor_mode not in ("image", "modeled"):
+            raise ValueError("processor_mode must be 'image' or 'modeled'")
+
+
+def _entropy(config: FleetConfig, *stream: int) -> bytes:
+    """32 deterministic bytes for one named entropy stream."""
+    return np.random.default_rng((config.seed,) + stream).bytes(32)
+
+
+def draw_risk(rng: np.random.Generator, config: FleetConfig) -> float:
+    """One request's reported risk under the configured workload mix."""
+    u = rng.random()
+    if u < config.hijack_fraction:
+        return 0.76 + 0.2 * rng.random()  # breach: terminated server-side
+    if u < config.hijack_fraction + config.challenge_fraction:
+        return 0.51 + 0.23 * rng.random()  # marginal: challenged
+    return 0.4 * rng.random()  # benign
+
+
+class DeviceFactory:
+    """Builds fleet devices by cloning enrolled prototypes."""
+
+    def __init__(self, config: FleetConfig, ca: CertificateAuthority,
+                 verification_cache=None) -> None:
+        self.config = config
+        self.verification_cache = verification_cache
+        #: The one physical finger every fleet user presents.  Sharing it
+        #: is sound: the modeled processor decides genuine/impostor by
+        #: finger id, and per-device score draws come from per-actor rngs.
+        self.master = synthesize_master(
+            "fleet-right-thumb", np.random.default_rng((config.seed, 1)))
+        template = enroll_master(self.master,
+                                 np.random.default_rng((config.seed, 2)))
+        self.prototypes: list[MobileDevice] = []
+        for batch in range(config.prototype_count):
+            prototype = MobileDevice(
+                f"fleet-proto-{batch}", _entropy(config, 3, batch), ca=ca,
+                processor_mode=config.processor_mode,
+                key_bits=config.device_key_bits)
+            if config.processor_mode == "modeled":
+                prototype.flock.enroll_local_user(
+                    template, score_model=DEFAULT_PARTIAL_MODEL)
+            else:
+                prototype.flock.enroll_local_user(template)
+            self.prototypes.append(prototype)
+        pool_drbg = HmacDrbg(_entropy(config, 4),
+                             personalization=b"fleet-service-keypair-pool")
+        self._service_pool = [
+            generate_keypair(pool_drbg, bits=config.device_key_bits)
+            for _ in range(config.keypair_pool_size)]
+
+    def build(self, index: int) -> MobileDevice:
+        """Clone prototype ``index % B`` into fleet member ``index``."""
+        device = copy.deepcopy(
+            self.prototypes[index % len(self.prototypes)])
+        device_id = f"fleet-dev-{index:05d}"
+        device.device_id = device_id
+        flock = device.flock
+        flock.device_id = device_id
+        # Fresh per-clone DRBG: nonces, session keys and signature padding
+        # diverge between clones even within one prototype batch.
+        flock._drbg = HmacDrbg(_entropy(self.config, 5, index),
+                               personalization=device_id.encode())
+        flock.crypto.rng = flock._drbg
+        pooled = self._service_pool[index % len(self._service_pool)]
+        flock.crypto.keypair_source = lambda pooled=pooled: pooled
+        if self.verification_cache is not None:
+            # Only the image processor has a match cache to accept; the
+            # install is a no-op for modeled fleets.
+            flock.install_verification_cache(self.verification_cache)
+        return device
+
+
+@dataclass
+class DeviceActor:
+    """One simulated user + device working through its session script."""
+
+    index: int
+    account: str
+    device: MobileDevice
+    client: TrustClient
+    rng: np.random.Generator
+    session: TrustSession | None = None
+    requests_done: int = 0
+    alive: bool = True

@@ -1,0 +1,108 @@
+"""Fleet metrics: latency percentiles, throughput, outcome counters.
+
+Everything here is deterministic by construction — no wall clock, no dict
+iteration over unsorted byte keys — so two runs of the same seeded
+simulation render byte-identical summaries (the replay tests and the load
+benchmark both assert exactly that).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+__all__ = ["LatencyHistogram", "FleetMetrics"]
+
+
+class LatencyHistogram:
+    """Latency samples with nearest-rank percentiles.
+
+    Samples are kept raw (a fleet run records thousands, not millions) so
+    p50/p99 are exact, not bucket-interpolated.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample."""
+        if seconds < 0:
+            raise ValueError(f"negative latency {seconds!r}")
+        self._samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean sample (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100] (0.0 when empty)."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p!r} out of [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(len(ordered) * p / 100))
+        return ordered[rank - 1]
+
+
+class FleetMetrics:
+    """Aggregated outcome of one fleet run."""
+
+    def __init__(self) -> None:
+        #: ``(op, reason)`` -> count, e.g. ``("request", "ok")``.
+        self.outcomes: Counter = Counter()
+        #: Per-op latency distributions.
+        self.latency: dict[str, LatencyHistogram] = {}
+        #: Virtual time of the latest interaction completion.
+        self.horizon_s = 0.0
+        # Channel totals, filled by the simulation at the end of a run.
+        self.bytes_to_server = 0
+        self.bytes_to_device = 0
+        self.messages = 0
+
+    def record(self, op: str, reason: str, latency_s: float,
+               finished_s: float) -> None:
+        """Account one completed interaction."""
+        self.outcomes[(op, reason)] += 1
+        if op not in self.latency:
+            self.latency[op] = LatencyHistogram()
+        self.latency[op].record(latency_s)
+        self.horizon_s = max(self.horizon_s, finished_s)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def interactions(self) -> int:
+        """Total interactions recorded (any outcome)."""
+        return sum(self.outcomes.values())
+
+    def count(self, op: str, reason: str | None = None) -> int:
+        """Interactions for one op, optionally restricted to a reason."""
+        if reason is not None:
+            return self.outcomes[(op, reason)]
+        return sum(count for (o, _), count in self.outcomes.items()
+                   if o == op)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed interactions per simulated second."""
+        if self.horizon_s <= 0:
+            return 0.0
+        return self.interactions / self.horizon_s
+
+    def outcome_rows(self) -> list[tuple[str, str, int]]:
+        """Sorted ``(op, reason, count)`` rows for rendering."""
+        return [(op, reason, self.outcomes[(op, reason)])
+                for op, reason in sorted(self.outcomes)]
+
+    def latency_rows(self) -> list[tuple[str, int, float, float, float]]:
+        """Sorted ``(op, count, mean_s, p50_s, p99_s)`` rows."""
+        return [(op, hist.count, hist.mean, hist.percentile(50),
+                 hist.percentile(99))
+                for op, hist in sorted(self.latency.items())]

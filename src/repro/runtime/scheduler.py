@@ -1,0 +1,95 @@
+"""Deterministic discrete-event scheduler with a virtual clock.
+
+The fleet simulation never touches the wall clock: every device action is
+an event on this loop, time advances only by popping the event heap, and
+ties are broken by a monotonic sequence number — so a run is a pure
+function of its seeds.  The executed-event trace doubles as the
+determinism witness: two runs of the same configuration must produce
+byte-identical traces (see ``tests/runtime/test_fleet_replay.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["EventLoop", "ServiceQueue"]
+
+
+class EventLoop:
+    """A (time, sequence)-ordered event heap driving a virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.processed = 0
+        self._seq = 0
+        self._heap: list[tuple[float, int, str, Callable[[], None]]] = []
+        #: Executed events as ``(virtual_time, label)`` — the replay trace.
+        self.trace: list[tuple[float, str]] = []
+
+    def schedule(self, at: float, label: str,
+                 action: Callable[[], None]) -> None:
+        """Enqueue ``action`` to run at virtual time ``at``."""
+        at = float(at)
+        if at < self.now:
+            raise ValueError(
+                f"cannot schedule into the past ({at:.6f} < {self.now:.6f})")
+        heapq.heappush(self._heap, (at, self._seq, label, action))
+        self._seq += 1
+
+    def schedule_after(self, delay: float, label: str,
+                       action: Callable[[], None]) -> None:
+        """Enqueue ``action`` to run ``delay`` after the current time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self.schedule(self.now + delay, label, action)
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._heap)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Pop-and-execute until the heap drains; returns events run."""
+        ran = 0
+        while self._heap and (max_events is None or ran < max_events):
+            at, _, label, action = heapq.heappop(self._heap)
+            self.now = at
+            self.trace.append((at, label))
+            action()
+            ran += 1
+            self.processed += 1
+        return ran
+
+
+@dataclass
+class ServiceQueue:
+    """FIFO single-server queue in virtual time (one shard's capacity).
+
+    Jobs are admitted in arrival order; a job arriving while the server is
+    busy waits until ``busy_until``.  This is the latency model of the
+    fleet: response time = queue wait + service time (+ the network RTT the
+    caller adds).
+    """
+
+    busy_until: float = 0.0
+    served: int = 0
+    busy_time_s: float = 0.0
+
+    def begin(self, arrival: float, service_s: float) -> tuple[float, float]:
+        """Admit one job; returns its (start, completion) virtual times."""
+        if service_s < 0:
+            raise ValueError(f"negative service time {service_s!r}")
+        start = max(float(arrival), self.busy_until)
+        completion = start + service_s
+        self.busy_until = completion
+        self.served += 1
+        self.busy_time_s += service_s
+        return start, completion
+
+    def utilization(self, horizon_s: float) -> float:
+        """Busy fraction of ``[0, horizon_s]`` (0.0 for an empty horizon)."""
+        if horizon_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_s / horizon_s)

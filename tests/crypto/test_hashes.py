@@ -116,3 +116,49 @@ class TestMd5Vectors:
     def test_rejects_str(self):
         with pytest.raises(TypeError):
             MD5().update("oops")  # type: ignore[arg-type]
+
+
+class TestAcceleratedBackends:
+    """The hashlib fast path and the pure-Python reference must agree."""
+
+    @pytest.fixture()
+    def pure_python(self):
+        from repro.crypto.sha256 import accelerated_enabled, set_accelerated
+        before = accelerated_enabled()
+        set_accelerated(False)
+        yield
+        set_accelerated(before)
+
+    def test_toggle_returns_previous_setting(self):
+        from repro.crypto.sha256 import accelerated_enabled, set_accelerated
+        before = accelerated_enabled()
+        try:
+            set_accelerated(True)
+            assert set_accelerated(False) is True
+            assert accelerated_enabled() is False
+            assert set_accelerated(True) is False
+            assert accelerated_enabled() is True
+        finally:
+            set_accelerated(before)
+
+    def test_sha256_backends_agree(self, pure_python):
+        for size in (0, 1, 55, 56, 64, 65, 1000):
+            data = bytes(range(256)) * (size // 256 + 1)
+            data = data[:size]
+            assert sha256_hex(data) == hashlib.sha256(data).hexdigest()
+            assert SHA256(data).digest() == hashlib.sha256(data).digest()
+
+    def test_md5_backends_agree(self, pure_python):
+        for size in (0, 1, 55, 56, 64, 65, 1000):
+            data = bytes(range(256)) * (size // 256 + 1)
+            data = data[:size]
+            assert md5_hex(data) == hashlib.md5(data).hexdigest()
+
+    def test_incremental_across_backends(self, pure_python):
+        """A pure-Python digest equals an accelerated one byte-for-byte."""
+        from repro.crypto.sha256 import set_accelerated
+        pure = SHA256(b"split ").copy()
+        pure.update(b"update")
+        set_accelerated(True)
+        fast = SHA256(b"split update")
+        assert pure.digest() == fast.digest()

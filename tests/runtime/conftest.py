@@ -1,0 +1,16 @@
+"""Shared fleet-runtime fixtures.
+
+Runtime tests exercise scheduling, routing and caching — not RSA
+arithmetic — so everything uses small (512-bit) keys and the modeled
+fingerprint processor.
+"""
+
+import pytest
+
+from repro.crypto import CertificateAuthority, HmacDrbg
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(rng=HmacDrbg(b"ca-runtime-tests"),
+                                key_bits=512)

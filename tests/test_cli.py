@@ -28,6 +28,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert "capture rate" in out
 
+    def test_load_command(self, capsys):
+        assert main(["--seed", "11", "load", "--devices", "24",
+                     "--shards", "4", "--requests", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "24 devices over 4 shards" in out
+        assert "fleet overview" in out
+        assert "per-shard balance" in out
+        assert "FAIL" not in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -7,22 +7,31 @@ class TestReadmeQuickstart:
     def test_sixty_second_api_taste(self):
         """The '60-second taste of the API' block, verbatim semantics."""
         from repro.eval import standard_deployment, LOGIN_BUTTON_XY
-        from repro.net import login, session_request
+        from repro.net import TrustClient
 
         world = standard_deployment()
         rng = np.random.default_rng(0)
+        client = TrustClient(world.device, world.server, world.channel)
 
-        outcome = login(world.device, world.server, world.channel,
-                        world.account, LOGIN_BUTTON_XY, world.user_master,
-                        rng)
+        outcome = client.login(world.account, LOGIN_BUTTON_XY,
+                               world.user_master, rng)
         assert outcome.success
 
-        result = session_request(world.device, world.server, world.channel,
-                                 outcome.session, risk=0.0, rng=rng,
-                                 touch_xy=LOGIN_BUTTON_XY,
-                                 master=world.user_master)
+        result = client.request(outcome.session, risk=0.0, rng=rng,
+                                touch_xy=LOGIN_BUTTON_XY,
+                                master=world.user_master)
         assert result.success
         world.device.flock.close_session(world.server.domain)
+
+    def test_fleet_load_block(self):
+        """The 'Fleet load simulation' scripting block, scaled down."""
+        from repro.runtime import FleetConfig, FleetSimulation
+
+        result = FleetSimulation(
+            FleetConfig(n_devices=12, n_shards=4, seed=3,
+                        requests_per_device=1, ramp_s=5.0)).run()
+        assert "TRUST fleet load: 12 devices over 4 shards" in result.summary
+        assert result.unexpected_rejections == {}
 
     def test_package_docstring_quickstart(self):
         """The repro.__doc__ quickstart block."""
