@@ -1,0 +1,71 @@
+"""Observability overhead guard and trace-export smoke.
+
+Two invariants protect the substrate added for cross-layer tracing:
+
+- the *no-op path is free*: a default fleet run with instrumentation left
+  at its NOOP default reproduces the checked-in ``fleet_load.txt``
+  baseline — same summary bytes, throughput within 5% of the recorded
+  figure — and attaching a live bundle changes nothing the fleet reports;
+- the *export format is pinned*: the trace CLI's JSON output for the
+  default fleet scenario must match the golden
+  ``results/trace_smoke.json`` byte for byte, so exporter or span-name
+  drift shows up as a reviewable diff instead of silently re-shaping
+  downstream tooling.
+"""
+
+import json
+import re
+
+from repro.cli import main
+from repro.obs import Instrumentation
+from repro.runtime import FleetConfig, FleetSimulation
+
+from .conftest import RESULTS_DIR, emit
+
+BASELINE = RESULTS_DIR / "fleet_load.txt"
+GOLDEN_TRACE = RESULTS_DIR / "trace_smoke.json"
+
+
+def _baseline_throughput() -> float:
+    match = re.search(r"throughput\s*\|\s*([0-9.]+) req/s",
+                      BASELINE.read_text())
+    assert match, "fleet_load.txt lacks a throughput row"
+    return float(match.group(1))
+
+
+class TestNoopOverheadGuard:
+    def test_noop_fleet_matches_checked_in_baseline(self):
+        result = FleetSimulation(FleetConfig()).run()  # obs defaults to NOOP
+        recorded = _baseline_throughput()
+        measured = result.metrics.throughput_rps
+        # The summary must still be the baseline's bytes, and throughput
+        # must sit within the 5% guard band around the recorded figure.
+        assert result.summary in BASELINE.read_text()
+        assert abs(measured - recorded) <= 0.05 * recorded
+        emit("obs_overhead", "\n".join([
+            "observability no-op overhead guard",
+            "",
+            f"baseline throughput | {recorded:.2f} req/s",
+            f"measured throughput | {measured:.2f} req/s",
+            f"deviation           | "
+            f"{abs(measured - recorded) / recorded * 100:.2f}% (guard 5%)",
+            "summary bytes       | identical to fleet_load.txt",
+        ]))
+
+    def test_live_instrumentation_changes_no_reported_byte(self):
+        config = FleetConfig(n_devices=48, n_shards=4, seed=7,
+                             requests_per_device=2)
+        plain = FleetSimulation(config).run()
+        traced = FleetSimulation(config, obs=Instrumentation.live()).run()
+        assert plain.summary == traced.summary
+        assert plain.trace == traced.trace
+
+
+class TestTraceExportSmoke:
+    def test_cli_fleet_trace_matches_golden(self, capsys):
+        code = main(["trace", "--scenario", "fleet", "--format", "json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        json.loads(out)  # well-formed before anything else
+        assert out == GOLDEN_TRACE.read_text(), \
+            "trace export drifted from benchmarks/results/trace_smoke.json"

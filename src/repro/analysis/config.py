@@ -28,25 +28,30 @@ LAYERING: dict[str, frozenset[str]] = {
     # Trusted substrate — strictly self-contained.
     "repro.crypto": frozenset(),
     "repro.analysis": frozenset(),
+    # Observability substrate: spans + metrics only, no domain imports.
+    # Every layer may *emit* through it, so it must sit at the very bottom
+    # of the DAG and never learn about the layers it observes.
+    "repro.obs": frozenset(),
     # Pure models below the trust boundary.
     "repro.fingerprint": frozenset(),
-    "repro.hardware": frozenset({"repro.fingerprint"}),
+    "repro.hardware": frozenset({"repro.fingerprint", "repro.obs"}),
     "repro.touchgen": frozenset({"repro.hardware", "repro.fingerprint"}),
     # The trusted module composes crypto + sensing, nothing above it.
     "repro.flock": frozenset({
-        "repro.crypto", "repro.fingerprint", "repro.hardware",
+        "repro.crypto", "repro.fingerprint", "repro.hardware", "repro.obs",
     }),
     # Untrusted host/protocol layers.
     "repro.net": frozenset({
         "repro.crypto", "repro.fingerprint", "repro.flock", "repro.hardware",
+        "repro.obs",
     }),
     "repro.core": frozenset({
         "repro.crypto", "repro.fingerprint", "repro.flock", "repro.hardware",
-        "repro.net", "repro.touchgen",
+        "repro.net", "repro.obs", "repro.touchgen",
     }),
     "repro.eval": frozenset({
         "repro.crypto", "repro.fingerprint", "repro.flock", "repro.hardware",
-        "repro.net", "repro.touchgen", "repro.core",
+        "repro.net", "repro.obs", "repro.touchgen", "repro.core",
     }),
     "repro.baselines": frozenset({
         "repro.crypto", "repro.fingerprint", "repro.hardware", "repro.net",
@@ -55,14 +60,15 @@ LAYERING: dict[str, frozenset[str]] = {
     "repro.attacks": frozenset({
         "repro.baselines", "repro.core", "repro.crypto", "repro.eval",
         "repro.fingerprint", "repro.flock", "repro.hardware", "repro.net",
-        "repro.touchgen",
+        "repro.obs", "repro.touchgen",
     }),
     # Fleet-scale simulation runtime: orchestrates everything below it,
     # but nothing below may reach up into it (caches are injected
     # duck-typed, never imported from the serving layers).
     "repro.runtime": frozenset({
         "repro.core", "repro.crypto", "repro.eval", "repro.fingerprint",
-        "repro.flock", "repro.hardware", "repro.net", "repro.touchgen",
+        "repro.flock", "repro.hardware", "repro.net", "repro.obs",
+        "repro.touchgen",
     }),
 }
 

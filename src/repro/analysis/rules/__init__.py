@@ -1,4 +1,4 @@
 """Rule modules; importing this package populates the registry."""
 
-from . import (boundaries, crypto_discipline, protocol_verify,  # noqa: F401
-               robustness, secret_flow_taint, secrets)
+from . import (boundaries, crypto_discipline, observability,  # noqa: F401
+               protocol_verify, robustness, secret_flow_taint, secrets)

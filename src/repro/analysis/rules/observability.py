@@ -1,0 +1,155 @@
+"""OB5xx — observability discipline.
+
+OB501: library code under ``src/repro`` must emit through the
+``repro.obs`` substrate, not around it.  Two anti-patterns are flagged:
+
+- ``print()`` calls — library layers have no business writing to stdout;
+  a span attribute, span event or metric carries the same information
+  and stays silent (and deterministic) by default.  Command-line
+  surfaces and report renderers are exactly the modules whose *job* is
+  printing, so modules named ``cli``, ``__main__`` or ``reporters`` are
+  exempt.
+- ad-hoc mutable counter dicts — a plain ``dict`` accumulated with
+  ``d[k] = d.get(k, 0) + n`` or ``d[k] += n`` is a metrics registry with
+  no export path.  Use ``collections.Counter`` for pure in-object
+  accounting (it is not flagged) or a
+  :class:`repro.obs.MetricsRegistry` counter for anything a report or
+  exporter should see.
+
+The ``repro.obs`` package itself is exempt: the registry's internal
+series storage is the sanctioned home of exactly these dict patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import AnalysisConfig
+from ..core import Finding, ModuleContext, Rule, register
+
+__all__ = ["AdHocObservability"]
+
+#: Module basenames whose purpose is terminal output.
+_PRINTING_MODULES = frozenset({"cli", "__main__", "reporters", "reporting"})
+
+
+def _target_key(node: ast.expr) -> str | None:
+    """A stable key for a plain name or a ``self.attr`` target."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _is_plain_dict_init(value: ast.expr | None) -> bool:
+    """Does this initializer build a plain dict (not a Counter)?"""
+    if isinstance(value, ast.Dict):
+        return True
+    if isinstance(value, ast.Call):
+        if isinstance(value.func, ast.Name) and value.func.id == "dict":
+            return True
+        # dataclasses.field(default_factory=dict)
+        if (isinstance(value.func, ast.Name) and value.func.id == "field") \
+                or (isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "field"):
+            for keyword in value.keywords:
+                if (keyword.arg == "default_factory"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id == "dict"):
+                    return True
+    return False
+
+
+def _dict_names(tree: ast.Module) -> set[str]:
+    """Every name/self-attribute initialized as a plain dict anywhere.
+
+    Dataclass fields (``ops: dict = field(default_factory=dict)`` at
+    class level) are recorded under both ``ops`` and ``self.ops`` since
+    methods reach them through ``self``.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not _is_plain_dict_init(value):
+            continue
+        for target in targets:
+            key = _target_key(target)
+            if key is None:
+                continue
+            names.add(key)
+            if "." not in key:
+                names.add(f"self.{key}")
+    return names
+
+
+def _is_get_accumulate(node: ast.Assign, counters: set[str]) -> str | None:
+    """Match ``d[k] = d.get(k, ...) + n`` (either operand order)."""
+    if len(node.targets) != 1:
+        return None
+    target = node.targets[0]
+    if not isinstance(target, ast.Subscript):
+        return None
+    name = _target_key(target.value)
+    if name is None or name not in counters:
+        return None
+    if not isinstance(node.value, ast.BinOp) \
+            or not isinstance(node.value.op, ast.Add):
+        return None
+    for operand in (node.value.left, node.value.right):
+        if (isinstance(operand, ast.Call)
+                and isinstance(operand.func, ast.Attribute)
+                and operand.func.attr == "get"
+                and _target_key(operand.func.value) == name):
+            return name
+    return None
+
+
+@register
+class AdHocObservability(Rule):
+    id = "OB501"
+    name = "ad-hoc-observability"
+    summary = ("library code must not print() or grow ad-hoc dict "
+               "counters; emit through repro.obs (or collections.Counter "
+               "for in-object accounting)")
+
+    def check(self, ctx: ModuleContext,
+              config: AnalysisConfig) -> Iterator[Finding]:
+        if ctx.module.startswith("repro.obs"):
+            return
+        basename = ctx.module.rsplit(".", 1)[-1]
+        counters = _dict_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"
+                    and basename not in _PRINTING_MODULES):
+                yield ctx.finding(
+                    self.id, node,
+                    "print() in library code; record a span event or "
+                    "metric via repro.obs instead (CLI/reporter modules "
+                    "are exempt)")
+            elif isinstance(node, ast.Assign):
+                name = _is_get_accumulate(node, counters)
+                if name is not None:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"ad-hoc counter dict {name!r} accumulated with "
+                        ".get()+n; use collections.Counter or a "
+                        "repro.obs registry counter")
+            elif (isinstance(node, ast.AugAssign)
+                  and isinstance(node.op, ast.Add)
+                  and isinstance(node.target, ast.Subscript)):
+                name = _target_key(node.target.value)
+                if name is not None and name in counters:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"ad-hoc counter dict {name!r} accumulated with "
+                        "+=; use collections.Counter or a repro.obs "
+                        "registry counter")

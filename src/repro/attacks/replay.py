@@ -7,6 +7,8 @@ the cookie baseline accepts replays indefinitely.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.baselines import CookieWebServer
 from repro.net import ProtocolError, UntrustedChannel, WebServer
 from repro.net.message import Envelope
@@ -22,7 +24,7 @@ def replay_trust_traffic(server: WebServer, channel: UntrustedChannel,
     if not recorded:
         raise ValueError(f"no recorded {msg_type!r} traffic to replay")
     accepted = 0
-    reasons: dict[str, int] = {}
+    reasons: "Counter[str]" = Counter()
     for record in recorded:
         try:
             # One uniform entry point: the recorded envelope's own type
@@ -30,15 +32,17 @@ def replay_trust_traffic(server: WebServer, channel: UntrustedChannel,
             server.dispatch(record.envelope.copy())
             accepted += 1
         except ProtocolError as exc:
-            reasons[exc.reason] = reasons.get(exc.reason, 0) + 1
+            reasons[exc.reason] += 1
+    # Rendered as a plain dict so recorded result files keep their exact
+    # pre-Counter formatting.
     return AttackResult(
         name=f"replay-{msg_type}",
         succeeded=accepted > 0,
         detected=accepted < len(recorded),
         attempts=len(recorded),
         detail=f"{accepted}/{len(recorded)} replays accepted; "
-               f"rejections {reasons}",
-        evidence={"accepted": accepted, "rejections": reasons})
+               f"rejections {dict(reasons)}",
+        evidence={"accepted": accepted, "rejections": dict(reasons)})
 
 
 def replay_cookie_request(server: CookieWebServer,

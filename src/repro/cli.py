@@ -13,6 +13,8 @@ audit     run a session with a UI-spoofing malware and show the off-line
           frame-hash audit catching it
 load      run the multi-tenant fleet simulation (N devices over M shards
           through the dispatch API) and print its metrics report
+trace     run an instrumented scenario (one gesture session or a small
+          fleet) and export its trace tree + metrics registry
 """
 
 from __future__ import annotations
@@ -179,6 +181,48 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (Instrumentation, render_metrics_text,
+                           render_trace_json, render_trace_text)
+
+    obs = Instrumentation.live()
+    if args.scenario == "gesture":
+        from repro.core import TrustCoordinator
+        from repro.eval import LOGIN_BUTTON_XY, standard_deployment
+        from repro.touchgen import SessionConfig, SessionGenerator, example_users
+
+        world = standard_deployment(seed=args.seed)
+        rng = np.random.default_rng(args.seed)
+        session = SessionGenerator(example_users()[0]).generate(
+            SessionConfig(n_interactions=args.gestures), seed=args.seed)
+        # The server predates the bundle (the deployment is cached), so
+        # hand it the tracer directly; the coordinator wires the rest.
+        world.server.obs = obs
+        coordinator = TrustCoordinator(world.device, world.server,
+                                       world.channel, world.account,
+                                       login_button_xy=LOGIN_BUTTON_XY,
+                                       obs=obs)
+        coordinator.run_session(
+            session.gestures,
+            {world.user_master.finger_id: world.user_master},
+            rng, login_master=world.user_master)
+        world.device.flock.close_session(world.server.domain)
+    else:
+        from repro.runtime import FleetConfig, FleetSimulation
+
+        config = FleetConfig(n_devices=args.devices, n_shards=args.shards,
+                             seed=args.seed,
+                             requests_per_device=args.requests)
+        FleetSimulation(config, obs=obs).run()
+    if args.format == "json":
+        print(render_trace_json(obs.tracer))
+    else:
+        print(render_trace_text(obs.tracer))
+        print()
+        print(render_metrics_text(obs.metrics))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -215,6 +259,23 @@ def main(argv: list[str] | None = None) -> int:
     load.add_argument("--requests", type=int, default=3,
                       help="content requests per device (default 3)")
     load.set_defaults(func=_cmd_load)
+
+    trace = subparsers.add_parser(
+        "trace", help="export a scenario's trace tree")
+    trace.add_argument("--scenario", choices=("gesture", "fleet"),
+                       default="gesture",
+                       help="what to instrument (default gesture)")
+    trace.add_argument("--format", choices=("text", "json"), default="text",
+                       help="export format (default text)")
+    trace.add_argument("--gestures", type=int, default=8,
+                       help="gestures in the gesture scenario (default 8)")
+    trace.add_argument("--devices", type=int, default=3,
+                       help="fleet scenario size (default 3)")
+    trace.add_argument("--shards", type=int, default=2,
+                       help="fleet scenario replicas (default 2)")
+    trace.add_argument("--requests", type=int, default=2,
+                       help="fleet requests per device (default 2)")
+    trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

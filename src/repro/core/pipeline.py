@@ -8,6 +8,7 @@ hardware/biometric substrate (FLock), and TRUST's risk logic.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
@@ -15,6 +16,7 @@ import numpy as np
 from repro.fingerprint import MasterFingerprint
 from repro.flock import FlockModule, TouchAuthEvent
 from repro.hardware import TouchPanel
+from repro.obs import Instrumentation, NOOP
 from repro.touchgen import Gesture
 from .identity_risk import IdentityRiskTracker, RiskAssessment, TouchOutcomeKind
 
@@ -52,10 +54,12 @@ class ContinuousAuthPipeline:
     """Feeds gestures through FLock and the risk tracker."""
 
     def __init__(self, flock: FlockModule, panel: TouchPanel,
-                 tracker: IdentityRiskTracker | None = None) -> None:
+                 tracker: IdentityRiskTracker | None = None,
+                 obs: Instrumentation | None = None) -> None:
         self.flock = flock
         self.panel = panel
         self.tracker = tracker if tracker is not None else IdentityRiskTracker()
+        self.obs = obs if obs is not None else NOOP
         self.events: list[PipelineEvent] = []
 
     def process_gesture(self, gesture: Gesture,
@@ -66,13 +70,20 @@ class ContinuousAuthPipeline:
         ``master`` is whoever is physically touching — genuine user or
         impostor; the pipeline has no idea, which is the point.
         """
-        located = self.panel.locate(gesture.primary_event)
-        auth = self.flock.handle_touch(located, master, rng)
-        kind = classify_outcome(auth)
-        assessment = self.tracker.record(kind)
-        event = PipelineEvent(gesture=gesture, outcome_kind=kind,
-                              auth=auth, assessment=assessment)
+        with self.obs.tracer.span("pipeline.process",
+                                  gesture=gesture.kind.value) as span:
+            located = self.panel.locate(gesture.primary_event)
+            auth = self.flock.handle_touch(located, master, rng)
+            kind = classify_outcome(auth)
+            assessment = self.tracker.record(kind)
+            span.set_attribute("outcome", kind.value)
+            span.set_attribute("risk", assessment.risk)
+            event = PipelineEvent(gesture=gesture, outcome_kind=kind,
+                                  auth=auth, assessment=assessment)
         self.events.append(event)
+        self.obs.metrics.counter(
+            "pipeline.gestures",
+            help="gestures processed by outcome kind").inc(outcome=kind.value)
         return event
 
     @property
@@ -82,8 +93,4 @@ class ContinuousAuthPipeline:
 
     def outcome_counts(self) -> dict[str, int]:
         """Histogram of outcome kinds over all processed gestures."""
-        counts: dict[str, int] = {}
-        for event in self.events:
-            key = event.outcome_kind.value
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return Counter(event.outcome_kind.value for event in self.events)

@@ -23,6 +23,7 @@ from repro.net import (
     UntrustedChannel,
     WebServer,
 )
+from repro.obs import Instrumentation, NOOP
 from repro.touchgen import Gesture, GestureKind
 from .identity_risk import IdentityRiskTracker
 from .pipeline import ContinuousAuthPipeline
@@ -56,16 +57,23 @@ class TrustCoordinator:
     def __init__(self, device: MobileDevice, server: WebServer,
                  channel: UntrustedChannel, account: str,
                  tracker: IdentityRiskTracker | None = None,
-                 login_button_xy: tuple[float, float] = (28.0, 80.0)) -> None:
+                 login_button_xy: tuple[float, float] = (28.0, 80.0),
+                 obs: Instrumentation | None = None) -> None:
         self.device = device
         self.server = server
         self.channel = channel
         self.account = account
         self.login_button_xy = login_button_xy
-        self.client = TrustClient(device, server, channel)
+        self.obs = obs if obs is not None else NOOP
+        if obs is not None:
+            # One bundle end to end: the device's capture/match path and
+            # the protocol client share this coordinator's tracer, so one
+            # gesture yields one trace tree from sensor to server verdict.
+            device.flock.obs = obs
+        self.client = TrustClient(device, server, channel, obs=self.obs)
         self.tracker = tracker if tracker is not None else IdentityRiskTracker()
         self.pipeline = ContinuousAuthPipeline(device.flock, device.panel,
-                                               self.tracker)
+                                               self.tracker, obs=self.obs)
         self.session: TrustSession | None = None
 
     def open(self, master: MasterFingerprint, rng: np.random.Generator,
@@ -95,45 +103,55 @@ class TrustCoordinator:
         if not report.login.success:
             return report
 
-        for gesture in gestures:
+        for index, gesture in enumerate(gestures):
             master = masters[gesture.primary_event.finger_id]
-            event = self.pipeline.process_gesture(gesture, master, rng)
-            report.gestures_processed += 1
-            risk = event.assessment.risk
-            report.risk_series.append(risk)
+            with self.obs.tracer.span("gesture", index=index,
+                                      kind=gesture.kind.value) as span:
+                event = self.pipeline.process_gesture(gesture, master, rng)
+                report.gestures_processed += 1
+                risk = event.assessment.risk
+                report.risk_series.append(risk)
+                span.set_attribute("outcome", event.outcome_kind.value)
+                span.set_attribute("risk", risk)
 
-            if gesture.changes_view:
-                # Zoom/scroll alters the displayed frame; the repeater
-                # re-hashes it so subsequent requests attest the new view.
-                self.device.flock.display.apply_view_change(
-                    zoom=2.0 if gesture.kind is GestureKind.ZOOM else None,
-                    scroll_px=64 if gesture.kind is GestureKind.SWIPE else None,
-                )
-                continue
+                if gesture.changes_view:
+                    # Zoom/scroll alters the displayed frame; the repeater
+                    # re-hashes it so subsequent requests attest the new view.
+                    self.device.flock.display.apply_view_change(
+                        zoom=2.0 if gesture.kind is GestureKind.ZOOM else None,
+                        scroll_px=64 if gesture.kind is GestureKind.SWIPE
+                        else None,
+                    )
+                    span.set_attribute("decision", "view-change")
+                    continue
 
-            result = self.client.request(self.session, risk=risk, rng=rng)
-            if result.success:
-                report.requests_ok += 1
-                continue
-            if result.challenged:
-                # The server demands a fresh verified touch; whoever is
-                # holding the phone answers with *their* finger.
-                challenge_result = self.client.answer_challenge(
-                    self.session, self.login_button_xy, master, rng,
-                    time_s=gesture.end_s + 0.5)
-                if challenge_result.success:
-                    report.challenges_answered += 1
-                    # A verified touch just happened; record it so the
-                    # risk window reflects the re-authentication.
-                    from .identity_risk import TouchOutcomeKind
-                    self.tracker.record(TouchOutcomeKind.VERIFIED)
-                else:
-                    report.challenges_failed += 1
-                    report.requests_failed += 1
-                continue
-            report.requests_failed += 1
-            if result.reason == "risk-too-high":
-                report.terminated = True
-                report.termination_reason = result.reason
-                break
+                result = self.client.request(self.session, risk=risk, rng=rng)
+                if result.success:
+                    report.requests_ok += 1
+                    span.set_attribute("decision", "ok")
+                    continue
+                if result.challenged:
+                    # The server demands a fresh verified touch; whoever is
+                    # holding the phone answers with *their* finger.
+                    challenge_result = self.client.answer_challenge(
+                        self.session, self.login_button_xy, master, rng,
+                        time_s=gesture.end_s + 0.5)
+                    if challenge_result.success:
+                        report.challenges_answered += 1
+                        span.set_attribute("decision", "challenge-answered")
+                        # A verified touch just happened; record it so the
+                        # risk window reflects the re-authentication.
+                        from .identity_risk import TouchOutcomeKind
+                        self.tracker.record(TouchOutcomeKind.VERIFIED)
+                    else:
+                        report.challenges_failed += 1
+                        report.requests_failed += 1
+                        span.set_attribute("decision", "challenge-failed")
+                    continue
+                report.requests_failed += 1
+                span.set_attribute("decision", result.reason)
+                if result.reason == "risk-too-high":
+                    report.terminated = True
+                    report.termination_reason = result.reason
+                    break
         return report

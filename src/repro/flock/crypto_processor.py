@@ -8,6 +8,7 @@ Latencies are round numbers for a small embedded crypto core.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -44,7 +45,7 @@ class CryptoProcessor:
     costs: CryptoOpCosts = field(default_factory=CryptoOpCosts)
     key_bits: int = 1024
     time_spent_s: float = 0.0
-    ops: dict[str, int] = field(default_factory=dict)
+    ops: "Counter[str]" = field(default_factory=Counter)
     #: Optional supplier of pre-generated key pairs.  Fleet-scale runs
     #: amortize the dominant RSA key-generation cost by injecting a pool
     #: here; the *modeled* keygen latency is still accounted, so reported
@@ -53,7 +54,7 @@ class CryptoProcessor:
 
     def _account(self, op: str, seconds: float) -> None:
         self.time_spent_s += seconds
-        self.ops[op] = self.ops.get(op, 0) + 1
+        self.ops[op] += 1
 
     def generate_service_keypair(self) -> RsaPrivateKey:
         """Fresh per-service key pair (Fig. 9 step 2)."""

@@ -28,6 +28,8 @@ from repro.hardware import (
     SensorArray,
     SensorLayout,
 )
+from repro.obs import Instrumentation, NOOP
+
 from .rng import SimulationRng
 
 __all__ = ["TouchCapture", "FingerprintController"]
@@ -60,7 +62,8 @@ class TouchCapture:
 class FingerprintController:
     """Drives the sensors of one layout; one SensorArray per placed sensor."""
 
-    def __init__(self, layout: SensorLayout, margin_mm: float = CAPTURE_MARGIN_MM) -> None:
+    def __init__(self, layout: SensorLayout, margin_mm: float = CAPTURE_MARGIN_MM,
+                 obs: Instrumentation | None = None) -> None:
         self.layout = layout
         self.margin_mm = float(margin_mm)
         # Indexed by layout position, not object identity: layouts forbid
@@ -69,6 +72,18 @@ class FingerprintController:
         self._arrays = [SensorArray(s.spec) for s in layout.sensors]
         self.touches_routed = 0
         self.touches_captured = 0
+        self.obs = obs if obs is not None else NOOP
+
+    @property
+    def obs(self) -> Instrumentation:
+        """The instrumentation bundle, shared with every sensor array."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value: Instrumentation) -> None:
+        self._obs = value
+        for array in self._arrays:
+            array.obs = value
 
     def _array_for(self, sensor: PlacedSensor) -> SensorArray:
         return self._arrays[self.layout.sensors.index(sensor)]

@@ -29,6 +29,8 @@ from repro.fingerprint import (
     minutiae_from_image,
 )
 from repro.fingerprint.enhancement import minutiae_with_enhancement
+from repro.obs import NOOP
+
 from .fingerprint_controller import TouchCapture
 from .rng import SimulationRng
 
@@ -57,6 +59,14 @@ def _minutiae_digest(minutiae) -> bytes:
     parts = [f"{m.row!r},{m.col!r},{m.direction!r},{m.kind}"
              for m in minutiae]
     return sha256("|".join(parts).encode("utf-8"))
+
+
+def _annotate_decision(span, decision: "AuthDecision") -> None:
+    """Stamp a match span with the decision's observable outcome."""
+    span.set_attribute("quality_ok", decision.quality_ok)
+    span.set_attribute("score", decision.score)
+    span.set_attribute("accepted", decision.accepted)
+    span.set_attribute("processing_time_s", decision.processing_time_s)
 
 
 @dataclass(frozen=True)
@@ -108,6 +118,8 @@ class ImageFingerprintProcessor:
         #: digests.  Matching is a pure function of the two minutiae sets,
         #: so a cached score is exactly the recomputed score.
         self.match_cache = None
+        #: Instrumentation bundle (re-wired by ``FlockModule.obs``).
+        self.obs = NOOP
 
     @property
     def template(self) -> FingerprintTemplate:
@@ -142,6 +154,13 @@ class ImageFingerprintProcessor:
                      rng: SimulationRng) -> AuthDecision:
         """Gate on quality, then extract and match against every template.
         ``rng`` unused here (signature shared with the modeled processor)."""
+        with self.obs.tracer.span("flock.match", processor="image") as span:
+            decision = self._authenticate(capture, rng)
+            _annotate_decision(span, decision)
+        return decision
+
+    def _authenticate(self, capture: TouchCapture,
+                      rng: SimulationRng) -> AuthDecision:
         quality_ok, report = self.gate.evaluate(capture.impression)
         extraction_time = capture.hardware.cells_sensed / EXTRACTION_CELLS_PER_S
         if not quality_ok:
@@ -196,10 +215,19 @@ class ModeledFingerprintProcessor:
         self.score_model = score_model
         self.accept_threshold = float(accept_threshold)
         self.quality_threshold = float(quality_threshold)
+        #: Instrumentation bundle (re-wired by ``FlockModule.obs``).
+        self.obs = NOOP
 
     def authenticate(self, capture: TouchCapture,
                      rng: SimulationRng) -> AuthDecision:
         """Quality-gate and score one capture against the model."""
+        with self.obs.tracer.span("flock.match", processor="modeled") as span:
+            decision = self._authenticate(capture, rng)
+            _annotate_decision(span, decision)
+        return decision
+
+    def _authenticate(self, capture: TouchCapture,
+                      rng: SimulationRng) -> AuthDecision:
         report = assess_quality(capture.impression)
         extraction_time = capture.hardware.cells_sensed / EXTRACTION_CELLS_PER_S
         if report.score < self.quality_threshold:

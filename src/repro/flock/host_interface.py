@@ -15,6 +15,7 @@ secret ever crosses.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -130,7 +131,4 @@ class HostInterface:
     # ------------------------------------------------------------- audit
     def command_counts(self) -> dict[str, int]:
         """Histogram of commands issued over this interface."""
-        counts: dict[str, int] = {}
-        for record in self.log:
-            counts[record.command] = counts.get(record.command, 0) + 1
-        return counts
+        return Counter(record.command for record in self.log)

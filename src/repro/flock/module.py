@@ -24,6 +24,8 @@ from repro.crypto import (
 )
 from repro.fingerprint import FingerprintTemplate, MasterFingerprint
 from repro.hardware import LocatedTouch, SensorLayout
+from repro.obs import Instrumentation, NOOP
+
 from .crypto_processor import CryptoProcessor
 from .display import DisplayRepeater, Frame
 from .fingerprint_controller import FingerprintController, TouchCapture
@@ -63,11 +65,13 @@ class FlockModule:
     def __init__(self, device_id: str, seed: bytes,
                  layout: SensorLayout,
                  processor_mode: str = "image",
-                 key_bits: int = 1024) -> None:
+                 key_bits: int = 1024,
+                 obs: Instrumentation | None = None) -> None:
         if processor_mode not in ("image", "modeled"):
             raise ValueError("processor_mode must be 'image' or 'modeled'")
         self.device_id = device_id
         self.processor_mode = processor_mode
+        self._obs = obs if obs is not None else NOOP
         self._drbg = HmacDrbg(seed, personalization=device_id.encode())
         self.crypto = CryptoProcessor(rng=self._drbg, key_bits=key_bits)
         self._device_key: RsaPrivateKey = generate_keypair(self._drbg,
@@ -75,7 +79,7 @@ class FlockModule:
         self.flash = ProtectedFlash()
         self.sram = SramModel()
         self.display = DisplayRepeater()
-        self.controller = FingerprintController(layout)
+        self.controller = FingerprintController(layout, obs=self._obs)
         self._local_processor: ImageFingerprintProcessor | ModeledFingerprintProcessor | None = None
         self._ca_public_key: RsaPublicKey | None = None
         self.certificate: Certificate | None = None
@@ -83,6 +87,24 @@ class FlockModule:
         self._session_keys: dict[str, bytes] = {}
         self._pending_challenges: dict[str, tuple[bytes, int]] = {}
         self._verified_touch_count = 0
+
+    # --------------------------------------------------------- observability
+    @property
+    def obs(self) -> Instrumentation:
+        """Instrumentation bundle, shared down into controller + processor.
+
+        Assigning a live bundle (``flock.obs = Instrumentation.live()``)
+        re-wires the whole capture/match path in one step, so a composition
+        root can instrument an already-built device.
+        """
+        return self._obs
+
+    @obs.setter
+    def obs(self, value: Instrumentation) -> None:
+        self._obs = value
+        self.controller.obs = value
+        if self._local_processor is not None:
+            self._local_processor.obs = value
 
     # ------------------------------------------------------------------ keys
     @property
@@ -124,6 +146,7 @@ class FlockModule:
                 kwargs["accept_threshold"] = accept_threshold
             self._local_processor = ModeledFingerprintProcessor(
                 template.finger_id, score_model, **kwargs)
+        self._local_processor.obs = self._obs
 
     @property
     def is_enrolled(self) -> bool:
@@ -176,15 +199,26 @@ class FlockModule:
         """
         if self._local_processor is None:
             raise FlockError("no user enrolled")
-        capture: TouchCapture | None = self.controller.capture(touch, master, rng)
-        if capture is None:
-            return TouchAuthEvent(captured=False, decision=None,
-                                  capture_time_s=0.0)
-        decision = self._local_processor.authenticate(capture, rng)
-        if decision.accepted:
-            self._verified_touch_count += 1
-        return TouchAuthEvent(captured=True, decision=decision,
-                              capture_time_s=capture.capture_time_s)
+        with self._obs.tracer.span("flock.touch",
+                                   device=self.device_id) as span:
+            capture: TouchCapture | None = self.controller.capture(
+                touch, master, rng)
+            if capture is None:
+                span.set_attribute("captured", False)
+                event = TouchAuthEvent(captured=False, decision=None,
+                                       capture_time_s=0.0)
+            else:
+                decision = self._local_processor.authenticate(capture, rng)
+                if decision.accepted:
+                    self._verified_touch_count += 1
+                span.set_attribute("captured", True)
+                span.set_attribute("verified", decision.accepted)
+                event = TouchAuthEvent(captured=True, decision=decision,
+                                       capture_time_s=capture.capture_time_s)
+        self._obs.metrics.counter(
+            "flock.touches", help="touches through the Fig. 6 pipeline").inc(
+            captured=event.captured, verified=event.verified)
+        return event
 
     # -------------------------------------------------- service bindings
     def begin_service_binding(self, domain: str, account: str,

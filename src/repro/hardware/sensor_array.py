@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import Instrumentation, NOOP
+
 from .specs import AddressingMode, SensorSpec
 
 __all__ = ["CaptureWindow", "CaptureResult", "SensorArray"]
@@ -103,11 +105,13 @@ class CaptureResult:
 class SensorArray:
     """One TFT fingerprint sensor instance built to a :class:`SensorSpec`."""
 
-    def __init__(self, spec: SensorSpec, comparator_reference: float = 0.5) -> None:
+    def __init__(self, spec: SensorSpec, comparator_reference: float = 0.5,
+                 obs: Instrumentation | None = None) -> None:
         if not 0.0 < comparator_reference < 1.0:
             raise ValueError("comparator reference must be inside (0, 1)")
         self.spec = spec
         self.comparator_reference = float(comparator_reference)
+        self.obs = obs if obs is not None else NOOP
 
     def cycles_for(self, window: CaptureWindow) -> int:
         """Scan cycles for a window under this design's addressing mode."""
@@ -146,14 +150,35 @@ class SensorArray:
             )
         window = CaptureWindow.full(self.spec) if window is None else window
         window = window.clamp(self.spec.rows, self.spec.cols)
-        analog = cell_image[window.row0:window.row1, window.col0:window.col1]
-        binary = analog > self.comparator_reference
-        cycles = self.cycles_for(window)
-        return CaptureResult(
-            window=window,
-            image=binary.copy(),
-            cycles=cycles,
-            time_s=cycles / self.spec.clock_hz,
-            cells_sensed=window.n_cells,
-            bits_transferred=window.n_cells,
-        )
+        with self.obs.tracer.span("sensor.capture") as span:
+            analog = cell_image[window.row0:window.row1,
+                                window.col0:window.col1]
+            binary = analog > self.comparator_reference
+            cycles = self.cycles_for(window)
+            result = CaptureResult(
+                window=window,
+                image=binary.copy(),
+                cycles=cycles,
+                time_s=cycles / self.spec.clock_hz,
+                cells_sensed=window.n_cells,
+                bits_transferred=window.n_cells,
+            )
+            self._annotate_capture(span, result)
+        self.obs.metrics.counter(
+            "sensor.captures", help="hardware captures performed").inc()
+        self.obs.metrics.counter(
+            "sensor.cells_sensed", help="cells scanned across all "
+            "captures").inc(result.cells_sensed)
+        return result
+
+    def _annotate_capture(self, span, result: CaptureResult) -> None:
+        """Stamp the modeled cycle/time/energy cost onto a capture span."""
+        if not self.obs.enabled:
+            return
+        from .power import PowerModel  # deferred: power imports this module
+        energy = PowerModel().capture_energy(result)
+        span.set_attribute("cycles", result.cycles)
+        span.set_attribute("time_s", result.time_s)
+        span.set_attribute("cells_sensed", result.cells_sensed)
+        span.set_attribute("bits_transferred", result.bits_transferred)
+        span.set_attribute("energy_j", energy.total_j)

@@ -96,11 +96,19 @@ class Envelope:
     reject versions outside :data:`SUPPORTED_PROTOCOL_VERSIONS` with the
     stable reason code ``unsupported-version``.  The v1 MAC input
     (:meth:`signed_bytes`) is frozen byte-for-byte.
+
+    ``trace_id`` is observability metadata: the client stamps the id of the
+    trace the message belongs to so the server's dispatch span can be
+    correlated with the gesture that caused it.  It deliberately lives
+    *outside* ``fields`` — it is never MACed (an adversary may rewrite it,
+    like any routing header, without affecting verification) and when unset
+    the v1 wire encoding is byte-identical to pre-trace corpora.
     """
 
     msg_type: str
     fields: dict = field(default_factory=dict)
     version: int = PROTOCOL_VERSION
+    trace_id: str | None = None
 
     @property
     def mac(self) -> bytes:
@@ -129,7 +137,8 @@ class Envelope:
 
     def copy(self) -> "Envelope":
         """Shallow-field copy (what the channel hands adversaries)."""
-        return Envelope(self.msg_type, dict(self.fields), self.version)
+        return Envelope(self.msg_type, dict(self.fields), self.version,
+                        self.trace_id)
 
 
 # --------------------------------------------------------------- wire codec
@@ -177,8 +186,20 @@ def _decode_wire_value(encoded: str):
 
 
 def encode_envelope(envelope: Envelope) -> bytes:
-    """Serialize an envelope to its versioned wire form."""
-    lines = [f"{_WIRE_MAGIC} v{envelope.version} {envelope.msg_type}"]
+    """Serialize an envelope to its versioned wire form.
+
+    A set ``trace_id`` rides as a fourth header token (``trace=<id>``);
+    when unset the header keeps its original three-token v1 form, so
+    pre-trace corpora re-encode byte-identically.
+    """
+    header = f"{_WIRE_MAGIC} v{envelope.version} {envelope.msg_type}"
+    if envelope.trace_id is not None:
+        if (" " in envelope.trace_id or "\n" in envelope.trace_id
+                or not envelope.trace_id):
+            raise TypeError(
+                f"trace id {envelope.trace_id!r} is not wire-safe")
+        header += f" trace={envelope.trace_id}"
+    lines = [header]
     for field_name in sorted(envelope.fields):
         if "=" in field_name or "\n" in field_name:
             # Field-based overtaint (names via sorted(fields) pick up the
@@ -206,9 +227,15 @@ def decode_envelope(data: bytes) -> Envelope:
                             f"undecodable envelope bytes: {exc}") from exc
     lines = text.split("\n")
     header = lines[0].split(" ")
-    if len(header) != 3 or header[0] != _WIRE_MAGIC:
+    if len(header) not in (3, 4) or header[0] != _WIRE_MAGIC:
         raise ProtocolError("malformed-message", "bad envelope header")
-    _, version_tag, msg_type = header
+    trace_id: str | None = None
+    if len(header) == 4:
+        if not header[3].startswith("trace=") or header[3] == "trace=":
+            raise ProtocolError("malformed-message",
+                                f"bad header token {header[3]!r}")
+        trace_id = header[3][len("trace="):]
+    _, version_tag, msg_type = header[:3]
     if not version_tag.startswith("v") or not version_tag[1:].isdigit():
         raise ProtocolError("malformed-message",
                             f"bad version tag {version_tag!r}")
@@ -229,4 +256,4 @@ def decode_envelope(data: bytes) -> Envelope:
             raise ProtocolError("malformed-message",
                                 f"duplicate field {field_name!r}")
         fields[field_name] = _decode_wire_value(value)
-    return Envelope(msg_type, fields, version)
+    return Envelope(msg_type, fields, version, trace_id)

@@ -26,6 +26,8 @@ import numpy as np
 from repro.crypto import Certificate, CertificateError
 from repro.fingerprint import MasterFingerprint
 from repro.flock import FlockError, StorageError
+from repro.obs import Instrumentation, NOOP
+
 from .channel import UntrustedChannel
 from .device import MobileDevice
 from .message import (
@@ -155,10 +157,27 @@ class TrustClient:
     """
 
     def __init__(self, device: MobileDevice, server: WebServer,
-                 channel: UntrustedChannel | None = None) -> None:
+                 channel: UntrustedChannel | None = None,
+                 obs: Instrumentation | None = None) -> None:
         self.device = device
         self.server = server
         self.channel = channel if channel is not None else UntrustedChannel()
+        self.obs = obs if obs is not None else NOOP
+
+    def _stamp(self, envelope: Envelope) -> Envelope:
+        """Tag outgoing traffic with the live trace id (never MACed)."""
+        if self.obs.enabled:
+            envelope.trace_id = self.obs.tracer.current_trace_id
+        return envelope
+
+    def _finish(self, span, op: str, result: ProtocolOutcome):
+        """Stamp a client span + op counter with a run's outcome."""
+        span.set_attribute("success", result.success)
+        span.set_attribute("reason", result.reason)
+        self.obs.metrics.counter(
+            "client.ops", help="protocol runs by op and reason").inc(
+            op=op, reason=result.reason)
+        return result
 
     # ---------------------------------------------- Fig. 9 registration
     def register(self, account: str, touch_xy: tuple[float, float],
@@ -171,6 +190,14 @@ class TrustClient:
         a fingerprint sensor — the paper's critical-button countermeasure),
         and ``master`` is the finger that physically touches it.
         """
+        with self.obs.tracer.span("client.register", account=account) as span:
+            result = self._register(account, touch_xy, master, rng, now,
+                                    time_s, max_attempts)
+            self._finish(span, "register", result)
+        return result
+
+    def _register(self, account, touch_xy, master, rng, now, time_s,
+                  max_attempts) -> RegistrationResult:
         device, server, channel = self.device, self.server, self.channel
         meter = _CostMeter(device, channel, RegistrationResult)
         flock = device.flock
@@ -218,8 +245,8 @@ class TrustClient:
             "device_cert": flock.certificate.to_bytes(),
         })
         submission.set_mac(flock.sign_as_device(submission.signed_bytes()))
-        delivered = channel.send(device.browser.outgoing(submission),
-                                 "to-server")
+        delivered = channel.send(
+            device.browser.outgoing(self._stamp(submission)), "to-server")
         if delivered is None:
             return meter.outcome(False, "message-dropped")
 
@@ -240,6 +267,14 @@ class TrustClient:
               risk: float = 0.0, now: int = 0, time_s: float = 0.0,
               max_attempts: int = 4) -> LoginResult:
         """Run the Fig. 10 login (steps 1-3); ``session`` set on success."""
+        with self.obs.tracer.span("client.login", account=account) as span:
+            result = self._login(account, touch_xy, master, rng, risk, now,
+                                 time_s, max_attempts)
+            self._finish(span, "login", result)
+        return result
+
+    def _login(self, account, touch_xy, master, rng, risk, now, time_s,
+               max_attempts) -> LoginResult:
         device, server, channel = self.device, self.server, self.channel
         meter = _CostMeter(device, channel, LoginResult)
         flock = device.flock
@@ -281,8 +316,8 @@ class TrustClient:
             domain, submission.signed_bytes())
         submission.set_mac(flock.session_mac(domain,
                                              submission.signed_bytes()))
-        delivered = channel.send(device.browser.outgoing(submission),
-                                 "to-server")
+        delivered = channel.send(
+            device.browser.outgoing(self._stamp(submission)), "to-server")
         if delivered is None:
             flock.close_session(domain)
             return meter.outcome(False, "message-dropped")
@@ -328,6 +363,14 @@ class TrustClient:
         injected fake user actions look like, and what the risk report
         exposes.
         """
+        with self.obs.tracer.span("client.request", risk=float(risk)) as span:
+            result = self._request(session, risk, rng, touch_xy, master, now,
+                                   time_s)
+            self._finish(span, "request", result)
+        return result
+
+    def _request(self, session, risk, rng, touch_xy, master, now,
+                 time_s) -> RequestResult:
         device, server, channel = self.device, self.server, self.channel
         meter = _CostMeter(device, channel, RequestResult)
         flock = device.flock
@@ -350,8 +393,8 @@ class TrustClient:
                                               request.signed_bytes()))
         except FlockError as exc:
             return meter.outcome(False, f"device-rejected: {exc}")
-        delivered = channel.send(device.browser.outgoing(request),
-                                 "to-server")
+        delivered = channel.send(
+            device.browser.outgoing(self._stamp(request)), "to-server")
         if delivered is None:
             return meter.outcome(False, "message-dropped")
         try:
@@ -395,6 +438,14 @@ class TrustClient:
         and the session stays frozen (the server keeps withholding
         content).
         """
+        with self.obs.tracer.span("client.challenge") as span:
+            result = self._answer_challenge(session, touch_xy, master, rng,
+                                            now, time_s, max_attempts)
+            self._finish(span, "challenge", result)
+        return result
+
+    def _answer_challenge(self, session, touch_xy, master, rng, now, time_s,
+                          max_attempts) -> ChallengeResult:
         device, server, channel = self.device, self.server, self.channel
         meter = _CostMeter(device, channel, ChallengeResult)
         flock = device.flock
@@ -417,8 +468,8 @@ class TrustClient:
         })
         response.set_mac(flock.session_mac(session.domain,
                                            response.signed_bytes()))
-        delivered = channel.send(device.browser.outgoing(response),
-                                 "to-server")
+        delivered = channel.send(
+            device.browser.outgoing(self._stamp(response)), "to-server")
         if delivered is None:
             return meter.outcome(False, "message-dropped")
         try:

@@ -36,6 +36,7 @@ from repro.crypto import (
     hmac_sha256,
     sha256,
 )
+from repro.obs import Instrumentation, MetricsRegistry, NOOP
 from .message import (
     MSG_CHALLENGE,
     MSG_CHALLENGE_RESPONSE,
@@ -122,7 +123,8 @@ class WebServer:
 
     def __init__(self, domain: str, ca: CertificateAuthority, seed: bytes,
                  key_bits: int = 1024, now: int = 0,
-                 verification_cache=None) -> None:
+                 verification_cache=None,
+                 obs: Instrumentation | None = None) -> None:
         self.domain = domain
         self.ca = ca
         self._rng = HmacDrbg(seed, personalization=domain.encode())
@@ -134,7 +136,11 @@ class WebServer:
         self._outstanding_nonces: dict[bytes, str] = {}  # nonce -> purpose
         self.frame_audit_log: list[tuple[str, bytes]] = []
         self.rejections: Counter = Counter()
-        self.endpoint_calls: Counter = Counter()
+        #: Injected bundle supplies the tracer; metrics always go to the
+        #: server's own live registry so per-shard endpoint accounting
+        #: (:attr:`endpoint_calls`) works even when tracing is off.
+        self.obs = obs if obs is not None else NOOP
+        self.metrics = MetricsRegistry()
         # Duck-typed memoizer (``memoize(kind, key, compute)``); only the
         # clock-independent signature predicate ever goes through it.
         self.verification_cache = verification_cache
@@ -242,8 +248,32 @@ class WebServer:
         endpoint = self.ENDPOINTS.get(envelope.msg_type)
         if endpoint is None:
             raise self._reject("unknown-endpoint", envelope.msg_type)
-        self.endpoint_calls[envelope.msg_type] += 1
-        return endpoint.handler(self, envelope, now)
+        self.metrics.counter(
+            "server.dispatch_calls",
+            help="dispatched envelopes by endpoint").inc(
+            endpoint=envelope.msg_type)
+        with self.obs.tracer.span("server.dispatch", domain=self.domain,
+                                  endpoint=envelope.msg_type) as span:
+            if envelope.trace_id is not None:
+                # The client's trace id rides outside the MAC; recording it
+                # on the span correlates this dispatch with the gesture.
+                span.set_attribute("client_trace", envelope.trace_id)
+            try:
+                reply = endpoint.handler(self, envelope, now)
+            except ProtocolError as exc:
+                span.set_attribute("decision", exc.reason)
+                raise
+            span.set_attribute("decision", "ok")
+            return reply
+
+    @property
+    def endpoint_calls(self) -> Counter:
+        """Per-endpoint dispatch counts, derived from the live registry."""
+        counter = self.metrics.counter(
+            "server.dispatch_calls",
+            help="dispatched envelopes by endpoint")
+        return Counter({labels["endpoint"]: value
+                        for labels, value in counter.series()})
 
     def _cert_signature_valid(self, cert: Certificate) -> bool:
         """CA-signature predicate, memoized when a cache is installed.

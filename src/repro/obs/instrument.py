@@ -1,0 +1,51 @@
+"""The injectable instrumentation bundle: one tracer + one registry.
+
+Every instrumented layer takes an optional ``obs`` argument and defaults
+to :data:`NOOP`, a shared bundle of the null tracer and null registry —
+so constructing objects without observability costs nothing and emits
+nothing.  A composition root (a test, the trace CLI, the fleet
+simulation) builds one live bundle with :meth:`Instrumentation.live` and
+hands the *same* bundle to every layer; because all layers share one
+tracer, a single gesture produces a single trace tree from sensor capture
+to server decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .metrics import MetricsRegistry, NullMetricsRegistry, NULL_REGISTRY
+from .trace import NullTracer, Tracer, NULL_TRACER
+
+__all__ = ["Instrumentation", "NOOP"]
+
+
+@dataclass
+class Instrumentation:
+    """One tracer plus one metrics registry, injected as a unit."""
+
+    tracer: Tracer | NullTracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry | NullMetricsRegistry = field(
+        default_factory=MetricsRegistry)
+
+    @property
+    def enabled(self) -> bool:
+        """True when spans are actually recorded."""
+        return self.tracer.enabled
+
+    def __deepcopy__(self, memo) -> "Instrumentation":
+        # Instrumentation is ambient wiring, not object state: cloning a
+        # device (the fleet factory deep-copies whole prototypes) must keep
+        # emitting into the *same* tracer/registry, not a private copy.
+        return self
+
+    @classmethod
+    def live(cls, clock: Callable[[], float] | None = None) \
+            -> "Instrumentation":
+        """A fresh recording bundle (deterministic step clock by default)."""
+        return cls(tracer=Tracer(clock=clock), metrics=MetricsRegistry())
+
+
+#: Shared do-nothing bundle; the default for every ``obs`` parameter.
+NOOP = Instrumentation(tracer=NULL_TRACER, metrics=NULL_REGISTRY)

@@ -12,11 +12,19 @@ The cache is deliberately duck-typed: consumers (``WebServer``,
 and never import this module, keeping the layering DAG acyclic.  Anything
 clock- or policy-dependent (certificate validity windows, role checks,
 risk thresholds) must stay outside the cache and be recomputed per use.
+
+Hit/miss/eviction accounting lives in a :class:`~repro.obs.MetricsRegistry`
+(``cache.hits``/``cache.misses`` labeled by predicate kind,
+``cache.evictions``); the historical ``hits``/``misses`` Counter views are
+derived from it, so callers keep indexing by kind while exporters see the
+same counters as every other layer.
 """
 
 from __future__ import annotations
 
 from collections import Counter, OrderedDict
+
+from repro.obs import MetricsRegistry
 
 __all__ = ["VerificationCache"]
 
@@ -27,52 +35,78 @@ class VerificationCache:
     Entries are keyed ``(kind, key)`` where ``kind`` names the predicate
     ("cert-signature", "template-match", ...) and ``key`` is a content
     digest covering *every* input of the computation.  Per-kind hit/miss
-    counters feed the fleet metrics layer.
+    counters feed the fleet metrics layer.  Pass ``registry`` to account
+    into a shared registry (the fleet simulation shares one across the
+    whole run); by default the cache owns a private one.
     """
 
-    def __init__(self, max_entries: int | None = None) -> None:
+    def __init__(self, max_entries: int | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive (or None)")
         self.max_entries = max_entries
         self._store: "OrderedDict[tuple[str, bytes], object]" = OrderedDict()
-        self.hits: Counter = Counter()
-        self.misses: Counter = Counter()
-        self.evictions = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter(
+            "cache.hits", help="verification-cache hits by predicate kind")
+        self._misses = self.registry.counter(
+            "cache.misses", help="verification-cache misses by predicate kind")
+        self._evictions = self.registry.counter(
+            "cache.evictions", help="verification-cache LRU evictions")
 
     def memoize(self, kind: str, key: bytes, compute):
         """Return the cached result for ``(kind, key)`` or compute it."""
         slot = (kind, key)
         if slot in self._store:
-            self.hits[kind] += 1
+            self._hits.inc(kind=kind)
             self._store.move_to_end(slot)
             return self._store[slot]
-        self.misses[kind] += 1
+        self._misses.inc(kind=kind)
         value = compute()
         self._store[slot] = value
         if self.max_entries is not None and len(self._store) > self.max_entries:
             self._store.popitem(last=False)
-            self.evictions += 1
+            self._evictions.inc()
         return value
 
     # ------------------------------------------------------------ accounting
+    @property
+    def hits(self) -> Counter:
+        """Per-kind hit counts (a derived view of the registry counter)."""
+        return Counter({labels["kind"]: value
+                        for labels, value in self._hits.series()})
+
+    @property
+    def misses(self) -> Counter:
+        """Per-kind miss counts (a derived view of the registry counter)."""
+        return Counter({labels["kind"]: value
+                        for labels, value in self._misses.series()})
+
+    @property
+    def evictions(self) -> int:
+        """Total LRU evictions."""
+        return self._evictions.total()
+
     def lookups(self, kind: str | None = None) -> int:
         """Total lookups, overall or for one predicate kind."""
         if kind is not None:
-            return self.hits[kind] + self.misses[kind]
-        return sum(self.hits.values()) + sum(self.misses.values())
+            return self._hits.value(kind=kind) + self._misses.value(kind=kind)
+        return self._hits.total() + self._misses.total()
 
     def hit_rate(self, kind: str | None = None) -> float:
         """Fraction of lookups answered from cache (0.0 when unused)."""
         total = self.lookups(kind)
         if total == 0:
             return 0.0
-        hits = self.hits[kind] if kind is not None else sum(self.hits.values())
+        hits = (self._hits.value(kind=kind) if kind is not None
+                else self._hits.total())
         return hits / total
 
     def stats(self) -> list[tuple[str, int, int, float]]:
         """Sorted per-kind rows: (kind, hits, misses, hit_rate)."""
-        kinds = sorted(set(self.hits) | set(self.misses))
-        return [(kind, self.hits[kind], self.misses[kind],
+        hits, misses = self.hits, self.misses
+        kinds = sorted(set(hits) | set(misses))
+        return [(kind, hits[kind], misses[kind],
                  self.hit_rate(kind)) for kind in kinds]
 
     def __len__(self) -> int:
@@ -81,6 +115,6 @@ class VerificationCache:
     def clear(self) -> None:
         """Drop all entries and counters."""
         self._store.clear()
-        self.hits.clear()
-        self.misses.clear()
-        self.evictions = 0
+        self._hits.clear()
+        self._misses.clear()
+        self._evictions.clear()

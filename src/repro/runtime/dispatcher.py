@@ -96,7 +96,8 @@ class ServerPool:
 
     def __init__(self, domain: str, ca: CertificateAuthority,
                  key_seed: bytes, n_shards: int, key_bits: int = 1024,
-                 verification_cache=None, ring_replicas: int = 64) -> None:
+                 verification_cache=None, ring_replicas: int = 64,
+                 obs=None) -> None:
         if n_shards < 1:
             raise ValueError("a pool needs at least one shard")
         self.domain = domain
@@ -104,6 +105,9 @@ class ServerPool:
         self._key_seed = key_seed
         self.key_bits = key_bits
         self.verification_cache = verification_cache
+        #: Instrumentation handed to every shard (including ones added
+        #: later), so all replicas trace into one tree.
+        self.obs = obs
         self.router = ConsistentHashRouter(replicas=ring_replicas)
         self.shards: dict[str, WebServer] = {}
         self._next_index = 0
@@ -121,7 +125,7 @@ class ServerPool:
         self._next_index += 1
         self.shards[shard_id] = WebServer(
             self.domain, self.ca, self._key_seed, key_bits=self.key_bits,
-            verification_cache=self.verification_cache)
+            verification_cache=self.verification_cache, obs=self.obs)
         self.router.add_shard(shard_id)
         return shard_id
 

@@ -14,15 +14,25 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs import NULL_TRACER
+
 __all__ = ["EventLoop", "ServiceQueue"]
 
 
 class EventLoop:
-    """A (time, sequence)-ordered event heap driving a virtual clock."""
+    """A (time, sequence)-ordered event heap driving a virtual clock.
 
-    def __init__(self) -> None:
+    When a tracer is injected, every executed event runs inside a
+    ``loop.event`` span stamped with the event's virtual time — and since
+    the composition root binds the tracer's clock to ``loop.now``, every
+    span the event's action opens (client ops, server dispatches) carries
+    virtual-clock timestamps too, keeping fleet traces deterministic.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.now = 0.0
         self.processed = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._seq = 0
         self._heap: list[tuple[float, int, str, Callable[[], None]]] = []
         #: Executed events as ``(virtual_time, label)`` — the replay trace.
@@ -57,7 +67,8 @@ class EventLoop:
             at, _, label, action = heapq.heappop(self._heap)
             self.now = at
             self.trace.append((at, label))
-            action()
+            with self.tracer.span("loop.event", label=label, at=at):
+                action()
             ran += 1
             self.processed += 1
         return ran

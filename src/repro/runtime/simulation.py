@@ -29,6 +29,7 @@ import numpy as np
 from repro.crypto import CertificateAuthority, HmacDrbg
 from repro.eval import render_table
 from repro.net import TrustClient, UntrustedChannel
+from repro.obs import Instrumentation, MetricsRegistry, NOOP
 
 from .cache import VerificationCache
 from .dispatcher import ServerPool
@@ -79,21 +80,32 @@ class FleetResult:
 class FleetSimulation:
     """One seeded discrete-event run of a device fleet against a pool."""
 
-    def __init__(self, config: FleetConfig) -> None:
+    def __init__(self, config: FleetConfig,
+                 obs: Instrumentation | None = None) -> None:
         self.config = config
+        self.obs = obs if obs is not None else NOOP
+        # One registry for the whole run: fleet accounting and the shared
+        # verification cache record into the same instrument set an
+        # injected live bundle exports from.
+        registry = (self.obs.metrics
+                    if isinstance(self.obs.metrics, MetricsRegistry)
+                    else MetricsRegistry())
         self.ca = CertificateAuthority(
             name="fleet-ca",
             rng=HmacDrbg(b"fleet-ca-root", personalization=config.domain.encode()),
             key_bits=config.ca_key_bits)
-        self.cache = VerificationCache()
+        self.cache = VerificationCache(registry=registry)
         self.pool = ServerPool(
             config.domain, self.ca, b"fleet-service-key",
             config.n_shards, key_bits=config.server_key_bits,
-            verification_cache=self.cache)
+            verification_cache=self.cache, obs=obs)
         self.factory = DeviceFactory(config, self.ca,
                                      verification_cache=self.cache)
-        self.loop = EventLoop()
-        self.metrics = FleetMetrics()
+        self.loop = EventLoop(tracer=self.obs.tracer)
+        # Spans opened inside events get virtual-clock timestamps, which
+        # keeps traced fleet runs as replayable as untraced ones.
+        self.obs.tracer.bind_clock(lambda: self.loop.now)
+        self.metrics = FleetMetrics(registry=registry)
         self._queues = {shard_id: ServiceQueue()
                         for shard_id in self.pool.shard_ids}
         self.actors: list[DeviceActor] = []
@@ -101,9 +113,11 @@ class FleetSimulation:
             account = f"user-{index:05d}"
             self.pool.create_account(account, "fleet-reset-phrase")
             device = self.factory.build(index)
+            if self.obs.enabled:
+                device.flock.obs = self.obs
             channel = UntrustedChannel(keep_log=False)
             client = TrustClient(device, self.pool.shard_for(account),
-                                 channel)
+                                 channel, obs=self.obs)
             self.actors.append(DeviceActor(
                 index=index, account=account, device=device, client=client,
                 rng=np.random.default_rng((config.seed, 6, index))))

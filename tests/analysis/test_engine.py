@@ -56,7 +56,8 @@ class TestAnalyzePaths:
         _write_pkg(tmp_path, "repro.crypto", "badmod", "import random\n")
         _write_pkg(tmp_path, "repro.net", "leaky", "print(session_key)\n")
         report = analyze_paths([tmp_path])
-        assert sorted(f.rule for f in report.findings) == ["CD201", "SF101"]
+        assert sorted(f.rule for f in report.findings) \
+            == ["CD201", "OB501", "SF101"]
         assert report.files_scanned >= 2
         assert not report.clean
 

@@ -1,0 +1,98 @@
+"""OB501 — observability discipline rule fixtures."""
+
+from .conftest import rule_ids
+
+
+class TestPrintInLibraryCode:
+    def test_print_in_library_module_is_flagged(self, lint):
+        findings = lint('print("capture done")\n', module="repro.net.badmod")
+        assert rule_ids(findings) == ["OB501"]
+        assert "repro.obs" in findings[0].message
+
+    def test_cli_module_is_exempt(self, lint):
+        findings = lint('print("usage: ...")\n', module="repro.cli")
+        assert findings == []
+
+    def test_main_module_is_exempt(self, lint):
+        findings = lint('print("hello")\n', module="repro.__main__")
+        assert findings == []
+
+    def test_reporters_module_is_exempt(self, lint):
+        findings = lint('print(report)\n', module="repro.analysis.reporters")
+        assert findings == []
+
+    def test_obs_package_is_exempt(self, lint):
+        findings = lint('print(debug_state)\n', module="repro.obs.export")
+        assert findings == []
+
+    def test_method_named_print_is_clean(self, lint):
+        # Only the builtin counts; attribute calls are someone else's API.
+        findings = lint("device.print(page)\n", module="repro.net.badmod")
+        assert findings == []
+
+
+class TestAdHocCounterDicts:
+    def test_get_accumulate_is_flagged(self, lint):
+        findings = lint(
+            "calls = {}\n"
+            "def record(op):\n"
+            "    calls[op] = calls.get(op, 0) + 1\n",
+            module="repro.runtime.badmod")
+        assert rule_ids(findings) == ["OB501"]
+        assert "'calls'" in findings[0].message
+
+    def test_augassign_on_dict_is_flagged(self, lint):
+        findings = lint(
+            "hits = dict()\n"
+            "def record(kind):\n"
+            "    hits[kind] += 1\n",
+            module="repro.runtime.badmod")
+        assert rule_ids(findings) == ["OB501"]
+
+    def test_dataclass_field_dict_is_flagged_through_self(self, lint):
+        findings = lint(
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class Engine:\n"
+            "    ops: dict = field(default_factory=dict)\n"
+            "    def account(self, op):\n"
+            "        self.ops[op] = self.ops.get(op, 0) + 1\n",
+            module="repro.flock.badmod")
+        assert rule_ids(findings) == ["OB501"]
+        assert "'self.ops'" in findings[0].message
+
+    def test_collections_counter_is_not_flagged(self, lint):
+        findings = lint(
+            "from collections import Counter\n"
+            "calls = Counter()\n"
+            "def record(op):\n"
+            "    calls[op] += 1\n",
+            module="repro.runtime.goodmod")
+        assert findings == []
+
+    def test_non_counter_dict_writes_are_clean(self, lint):
+        # Plain assignment into a dict is a cache, not a counter.
+        findings = lint(
+            "cache = {}\n"
+            "def put(k, v):\n"
+            "    cache[k] = v\n",
+            module="repro.runtime.goodmod")
+        assert findings == []
+
+    def test_numeric_augassign_on_unknown_name_is_clean(self, lint):
+        # A dict we never saw initialized as a plain dict is not assumed
+        # to be one (it may be a Counter passed in).
+        findings = lint(
+            "def record(tallies, op):\n"
+            "    tallies[op] += 1\n",
+            module="repro.runtime.goodmod")
+        assert findings == []
+
+    def test_inline_suppression(self, lint):
+        findings = lint(
+            "calls = {}\n"
+            "def record(op):\n"
+            "    calls[op] = calls.get(op, 0) + 1  "
+            "# trust-lint: disable=OB501\n",
+            module="repro.runtime.badmod")
+        assert findings == []

@@ -23,7 +23,7 @@ def _plant(tmp_path, source: str = "import random\n",
 _TAINT_LEAK = """\
 def show(session_key):
     alias = session_key
-    print(alias)
+    print(alias)  # trust-lint: disable=OB501
 """
 
 

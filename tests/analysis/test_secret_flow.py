@@ -1,17 +1,23 @@
-"""SF101 — secret-flow hygiene rule fixtures."""
+"""SF101 — secret-flow hygiene rule fixtures.
+
+Fixtures that exercise the ``print()`` sink use a ``cli`` module
+basename so OB501 (no print in library code) stays out of the way;
+the SF rules key off the *package*, not the basename, so their
+behavior is identical.
+"""
 
 from .conftest import rule_ids
 
 
 class TestSecretSinks:
     def test_secret_printed_is_flagged(self, lint):
-        findings = lint("print(session_key)\n", module="repro.net.badmod")
+        findings = lint("print(session_key)\n", module="repro.net.cli")
         assert rule_ids(findings) == ["SF101"]
         assert "session_key" in findings[0].message
 
     def test_secret_in_fstring_to_print_is_flagged(self, lint):
         findings = lint('print(f"template bytes: {template}")\n',
-                        module="repro.net.badmod")
+                        module="repro.net.cli")
         assert rule_ids(findings) == ["SF101"]
 
     def test_secret_logged_is_flagged(self, lint):
@@ -50,13 +56,13 @@ class TestSecretSinks:
 class TestSecretNegatives:
     def test_public_key_is_not_secret(self, lint):
         findings = lint('print(f"bound {public_key}")\n',
-                        module="repro.net.goodmod")
+                        module="repro.net.cli")
         assert findings == []
 
     def test_derived_count_is_not_flagged(self, lint):
         # len(minutiae) prints a count, not the minutiae themselves.
         findings = lint('print(f"{len(minutiae)} minutiae found")\n',
-                        module="repro.net.goodmod")
+                        module="repro.net.cli")
         assert findings == []
 
     def test_plain_fstring_outside_sinks_is_clean(self, lint):
@@ -65,12 +71,12 @@ class TestSecretNegatives:
         assert findings == []
 
     def test_trusted_layer_is_exempt(self, lint):
-        findings = lint("print(session_key)\n", module="repro.flock.module")
+        findings = lint("print(session_key)\n", module="repro.flock.cli")
         assert findings == []
 
     def test_keystroke_features_are_not_secrets(self, lint):
         findings = lint("print(keystroke_timings)\n",
-                        module="repro.baselines.goodmod")
+                        module="repro.baselines.cli")
         assert findings == []
 
 
@@ -78,11 +84,11 @@ class TestSecretSuppression:
     def test_inline_suppression(self, lint):
         findings = lint(
             "print(session_key)  # trust-lint: disable=SF101\n",
-            module="repro.net.badmod")
+            module="repro.net.cli")
         assert findings == []
 
     def test_suppressing_other_rule_does_not_hide(self, lint):
         findings = lint(
             "print(session_key)  # trust-lint: disable=TB001\n",
-            module="repro.net.badmod")
+            module="repro.net.cli")
         assert rule_ids(findings) == ["SF101"]

@@ -1,0 +1,205 @@
+"""TrustCoordinator termination paths, with their emitted trace trees.
+
+Three ways a remote session ends badly — the holder fails a
+re-authentication challenge, the server cuts the session on reported
+risk, and a mid-session hijack — each asserted two ways: the
+:class:`RemoteSessionReport` fields the caller sees, and the span tree
+the coordinator's instrumentation records for the same run.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import IdentityRiskTracker, TrustCoordinator
+from repro.crypto import CertificateAuthority, HmacDrbg
+from repro.fingerprint import enroll_master, synthesize_master
+from repro.net import MobileDevice, TrustClient, UntrustedChannel, WebServer
+from repro.obs import Instrumentation
+from repro.touchgen import (
+    SessionConfig,
+    SessionGenerator,
+    example_users,
+    make_tap,
+)
+
+LOGIN_XY = (28.0, 80.0)
+
+
+@pytest.fixture(scope="module")
+def alice_master():
+    return synthesize_master("user1-right-thumb", np.random.default_rng(50))
+
+
+@pytest.fixture(scope="module")
+def eve_master():
+    return synthesize_master("eve-thumb", np.random.default_rng(950))
+
+
+@pytest.fixture(scope="module")
+def alice_template(alice_master):
+    return enroll_master(alice_master, np.random.default_rng(51))
+
+
+def _deployment(alice_master, alice_template, obs):
+    """Fresh registered device/server pair sharing one instrumentation."""
+    ca = CertificateAuthority(rng=HmacDrbg(b"ca-term"), key_bits=1024)
+    device = MobileDevice("dev-term", b"seed-term", ca=ca)
+    device.flock.enroll_local_user(alice_template)
+    server = WebServer("www.bank.com", ca, b"server-term", obs=obs)
+    server.create_account("alice", "pw")
+    channel = UntrustedChannel()
+    outcome = TrustClient(device, server, channel).register(
+        "alice", LOGIN_XY, alice_master, np.random.default_rng(52))
+    assert outcome.success
+    return device, server, channel
+
+
+class ScriptedRiskTracker(IdentityRiskTracker):
+    """Window tracker whose *reported* risk follows a fixed script.
+
+    ``risks[i]`` is reported after ``i`` recorded touches (the last entry
+    repeats), which lets a test hold the session exactly inside the
+    server's challenge band or push it over the termination threshold
+    without simulating dozens of organic gestures.
+    """
+
+    def __init__(self, risks):
+        super().__init__()
+        self._risks = list(risks)
+        self._recorded = 0
+
+    def record(self, kind):
+        self._recorded += 1
+        return super().record(kind)
+
+    def assess(self):
+        base = super().assess()
+        index = min(self._recorded, len(self._risks) - 1)
+        return replace(base, risk=self._risks[index])
+
+
+def _taps(finger_id, count):
+    return [make_tap(float(i), LOGIN_XY[0], LOGIN_XY[1], 0.5, 0.1, finger_id)
+            for i in range(count)]
+
+
+class TestChallengeFailure:
+    def test_impostor_fails_every_challenge(self, alice_master,
+                                            alice_template, eve_master):
+        obs = Instrumentation.live()
+        device, server, channel = _deployment(alice_master, alice_template,
+                                              obs)
+        # Risk 0.6 sits in (challenge, termination): every request draws a
+        # challenge; Eve holds the phone, so no answer ever verifies.
+        tracker = ScriptedRiskTracker([0.0, 0.6])
+        coordinator = TrustCoordinator(device, server, channel, "alice",
+                                       tracker=tracker, obs=obs)
+        gestures = _taps(alice_master.finger_id, 4)
+        report = coordinator.run_session(
+            gestures, {alice_master.finger_id: eve_master},
+            np.random.default_rng(53), login_master=alice_master)
+
+        assert report.login.success
+        assert not report.terminated  # challenge failure alone is not a cut
+        assert report.gestures_processed == 4
+        assert report.challenges_failed == 4
+        assert report.requests_failed == 4
+        assert report.challenges_answered == 0
+        assert report.requests_ok == 0
+
+        spans = obs.tracer.find("gesture")
+        assert [span.attributes["decision"] for span in spans] \
+            == ["challenge-failed"] * 4
+        for span in spans:
+            assert len(span.find("client.request")) == 1
+            assert len(span.find("client.challenge")) == 1
+            (dispatch,) = span.find("client.request")[0].find("server.dispatch")
+            assert dispatch.attributes["endpoint"] == "page-request"
+            assert dispatch.attributes["client_trace"] == span.trace_id
+        device.flock.close_session(server.domain)
+
+
+class TestRiskDrivenTermination:
+    def test_server_cuts_session_on_reported_risk(self, alice_master,
+                                                  alice_template):
+        obs = Instrumentation.live()
+        device, server, channel = _deployment(alice_master, alice_template,
+                                              obs)
+        # Genuine user throughout; the scripted tracker alone pushes the
+        # reported risk over the server's 0.75 termination threshold.
+        tracker = ScriptedRiskTracker([0.0, 0.9])
+        coordinator = TrustCoordinator(device, server, channel, "alice",
+                                       tracker=tracker, obs=obs)
+        gestures = _taps(alice_master.finger_id, 3)
+        report = coordinator.run_session(
+            gestures, {alice_master.finger_id: alice_master},
+            np.random.default_rng(54), login_master=alice_master)
+
+        assert report.login.success
+        assert report.terminated
+        assert report.termination_reason == "risk-too-high"
+        assert report.gestures_processed == 1  # loop breaks at the cut
+        assert report.requests_failed == 1
+        assert report.requests_ok == 0
+        assert not device.flock.has_session(server.domain)
+
+        (span,) = obs.tracer.find("gesture")
+        assert span.attributes["decision"] == "risk-too-high"
+        assert span.attributes["risk"] == pytest.approx(0.9)
+        (dispatch,) = span.find("server.dispatch")
+        # The rejection propagates as an exception through the server span.
+        assert dispatch.status == "error"
+        assert dispatch.attributes["decision"] == "risk-too-high"
+
+
+class TestMidSessionHijack:
+    class HijackedHands:
+        """``masters`` mapping that swaps the physical finger mid-stream."""
+
+        def __init__(self, genuine, impostor, hijack_after):
+            self.genuine = genuine
+            self.impostor = impostor
+            self.hijack_after = hijack_after
+            self.lookups = 0
+
+        def __getitem__(self, finger_id):
+            self.lookups += 1
+            if self.lookups <= self.hijack_after:
+                return self.genuine
+            return self.impostor
+
+    def test_hijack_report_and_span_tree_agree(self, alice_master,
+                                               alice_template, eve_master):
+        obs = Instrumentation.live()
+        device, server, channel = _deployment(alice_master, alice_template,
+                                              obs)
+        coordinator = TrustCoordinator(device, server, channel, "alice",
+                                       obs=obs)
+        trace = SessionGenerator(example_users()[0]).generate(
+            SessionConfig(n_interactions=60), seed=21)
+        hands = self.HijackedHands(alice_master, eve_master, hijack_after=10)
+        report = coordinator.run_session(trace.gestures, hands,
+                                         np.random.default_rng(55),
+                                         login_master=alice_master)
+
+        assert report.login.success
+        assert report.terminated
+        assert report.termination_reason == "risk-too-high"
+        # The cut comes after the hijack, before the stream runs out.
+        assert 10 < report.gestures_processed < len(trace.gestures)
+        assert report.risk_series[-1] > report.risk_series[0]
+        assert not device.flock.has_session(server.domain)
+
+        spans = obs.tracer.find("gesture")
+        assert len(spans) == report.gestures_processed
+        # Every gesture is its own trace, and the spans' risk attributes
+        # are exactly the report's risk series — one story, told twice.
+        assert len({span.trace_id for span in spans}) == len(spans)
+        assert [span.attributes["risk"] for span in spans] \
+            == report.risk_series
+        assert spans[-1].attributes["decision"] == "risk-too-high"
+        for span in spans:
+            for dispatch in span.find("server.dispatch"):
+                assert dispatch.attributes["client_trace"] == span.trace_id

@@ -94,7 +94,7 @@ class TestChallengeFlow:
         forged.set_mac(device.flock.session_mac(session.domain,
                                                 forged.signed_bytes()))
         with pytest.raises(ProtocolError) as exc_info:
-            server.handle_challenge_response(forged)
+            server.dispatch(forged)
         assert exc_info.value.reason == "bad-attestation"
 
 

@@ -80,7 +80,7 @@ class TestRegistration:
         assert outcome.success
         recorded = channel.recorded("registration-submit")[0].envelope
         with pytest.raises(ProtocolError) as exc_info:
-            server.handle_registration(recorded)
+            server.dispatch(recorded)
         assert exc_info.value.reason in ("already-bound", "bad-nonce")
 
 

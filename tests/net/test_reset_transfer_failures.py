@@ -68,7 +68,7 @@ class TestChallengeAnswerReplay:
         assert result.success, result.reason
         replayed = channel.recorded("challenge-response")[-1].envelope
         with pytest.raises(ProtocolError) as exc_info:
-            server.handle_challenge_response(replayed)
+            server.dispatch(replayed)
         assert exc_info.value.reason == "no-challenge-pending"
 
     def test_replay_against_new_challenge_rejected(self, live_session,
@@ -85,7 +85,7 @@ class TestChallengeAnswerReplay:
         state = server.session(session.session_id)
         assert state.pending_challenge is not None
         with pytest.raises(ProtocolError) as exc_info:
-            server.handle_challenge_response(stale)
+            server.dispatch(stale)
         assert exc_info.value.reason == "bad-nonce"
         # The challenge is still pending: the replay cleared nothing.
         assert state.pending_challenge is not None

@@ -71,7 +71,7 @@ class TestServerVerification:
         })
         forged.set_mac(hmac_sha256(b"guessed-key" * 3, forged.signed_bytes()))
         with pytest.raises(ProtocolError) as exc_info:
-            server.handle_request(forged)
+            server.dispatch(forged)
         assert exc_info.value.reason == "bad-mac"
         device.flock.close_session(server.domain)
 
@@ -87,7 +87,7 @@ class TestServerVerification:
         assert result.success
         replayed = channel.recorded("page-request")[-1].envelope
         with pytest.raises(ProtocolError) as exc_info:
-            server.handle_request(replayed)
+            server.dispatch(replayed)
         assert exc_info.value.reason == "bad-nonce"
         device.flock.close_session(server.domain)
 
@@ -99,7 +99,7 @@ class TestServerVerification:
         })
         bogus.set_mac(b"\x00" * 32)
         with pytest.raises(ProtocolError, match="unknown-session"):
-            server.handle_request(bogus)
+            server.dispatch(bogus)
 
     def test_duplicate_account_creation(self, deployment):
         _, server = deployment

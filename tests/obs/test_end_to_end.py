@@ -1,0 +1,109 @@
+"""Cross-layer tracing end to end: one gesture, one tree, stable bytes.
+
+The acceptance story for the observability substrate: running one gesture
+through a live deployment yields a *single* trace tree spanning sensor
+capture, FLock matching, the protocol client and the server's dispatch
+decision; the wire envelope carries the trace id; and the exported JSON is
+byte-identical across same-seed runs — both for the step clock and for
+the fleet's virtual clock.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import TrustCoordinator
+from repro.crypto import CertificateAuthority, HmacDrbg
+from repro.fingerprint import enroll_master, synthesize_master
+from repro.net import MobileDevice, TrustClient, UntrustedChannel, WebServer
+from repro.obs import Instrumentation, render_metrics_json, render_trace_json
+from repro.runtime import FleetConfig, FleetSimulation
+from repro.touchgen import make_tap
+
+LOGIN_XY = (28.0, 80.0)
+
+
+def _run_one_gesture():
+    """Fresh deployment, register + login + one tap; returns the pieces."""
+    obs = Instrumentation.live()
+    master = synthesize_master("user1-right-thumb", np.random.default_rng(70))
+    template = enroll_master(master, np.random.default_rng(71))
+    ca = CertificateAuthority(rng=HmacDrbg(b"ca-e2e"), key_bits=1024)
+    device = MobileDevice("dev-e2e", b"seed-e2e", ca=ca)
+    device.flock.enroll_local_user(template)
+    server = WebServer("www.bank.com", ca, b"server-e2e", obs=obs)
+    server.create_account("alice", "pw")
+    channel = UntrustedChannel()
+    outcome = TrustClient(device, server, channel).register(
+        "alice", LOGIN_XY, master, np.random.default_rng(72))
+    assert outcome.success
+    coordinator = TrustCoordinator(device, server, channel, "alice", obs=obs)
+    gesture = make_tap(0.0, LOGIN_XY[0], LOGIN_XY[1], 0.5, 0.1,
+                       master.finger_id)
+    report = coordinator.run_session([gesture], {master.finger_id: master},
+                                     np.random.default_rng(73),
+                                     login_master=master)
+    assert report.login.success
+    return obs, channel, report
+
+
+class TestSingleGestureTrace:
+    def test_one_gesture_yields_one_tree_capture_to_decision(self):
+        obs, _, report = _run_one_gesture()
+        assert report.requests_ok == 1
+        (span,) = obs.tracer.find("gesture")
+        names = {descendant.name for descendant in span.walk()}
+        # Every layer contributes to the same tree.
+        assert {"gesture", "pipeline.process", "flock.touch",
+                "sensor.capture", "flock.match", "client.request",
+                "server.dispatch"} <= names
+        # ... and the whole tree is one trace.
+        assert {descendant.trace_id for descendant in span.walk()} \
+            == {span.trace_id}
+        assert span.attributes["decision"] == "ok"
+        (dispatch,) = span.find("server.dispatch")
+        assert dispatch.attributes["decision"] == "ok"
+
+    def test_wire_envelope_carries_the_trace_id(self):
+        obs, channel, _ = _run_one_gesture()
+        (span,) = obs.tracer.find("gesture")
+        (record,) = channel.recorded("page-request", direction="to-server")
+        assert record.envelope.trace_id == span.trace_id
+        (dispatch,) = span.find("server.dispatch")
+        assert dispatch.attributes["client_trace"] == span.trace_id
+
+    def test_trace_exports_as_json(self):
+        obs, _, _ = _run_one_gesture()
+        document = json.loads(render_trace_json(obs.tracer))
+        assert len(document["traces"]) >= 1
+        names = {trace["name"] for trace in document["traces"]}
+        assert "gesture" in names
+
+
+class TestSameSeedByteIdentity:
+    def test_gesture_scenario_is_byte_identical(self):
+        first, _, _ = _run_one_gesture()
+        second, _, _ = _run_one_gesture()
+        assert render_trace_json(first.tracer) \
+            == render_trace_json(second.tracer)
+        assert render_metrics_json(first.metrics) \
+            == render_metrics_json(second.metrics)
+
+    def test_fleet_virtual_clock_is_byte_identical(self):
+        def run():
+            obs = Instrumentation.live()
+            config = FleetConfig(n_devices=2, n_shards=1, seed=7,
+                                 requests_per_device=1)
+            FleetSimulation(config, obs=obs).run()
+            return obs
+
+        first, second = run(), run()
+        first_json = render_trace_json(first.tracer)
+        assert first_json == render_trace_json(second.tracer)
+        assert render_metrics_json(first.metrics) \
+            == render_metrics_json(second.metrics)
+        # Virtual-clock timestamps made it onto the spans.
+        loop_spans = first.tracer.find("loop.event")
+        assert loop_spans
+        assert any(span.start_time > 0 for span in loop_spans)

@@ -33,6 +33,18 @@ class TestReadmeQuickstart:
         assert "TRUST fleet load: 12 devices over 4 shards" in result.summary
         assert result.unexpected_rejections == {}
 
+    def test_cross_layer_tracing_block(self):
+        """The 'Cross-layer tracing' scripting block, with a real scenario."""
+        from repro.obs import Instrumentation, render_trace_text
+        from repro.runtime import FleetConfig, FleetSimulation
+
+        obs = Instrumentation.live()
+        FleetSimulation(FleetConfig(n_devices=2, n_shards=1, seed=3,
+                                    requests_per_device=1), obs=obs).run()
+        text = render_trace_text(obs.tracer)
+        for name in ("server.dispatch", "flock.match", "sensor.capture"):
+            assert name in text
+
     def test_package_docstring_quickstart(self):
         """The repro.__doc__ quickstart block."""
         import repro
