@@ -4,8 +4,10 @@ The analysis pass is a tier-1 gate (tests/analysis/test_self_clean.py),
 so it runs on every merge; this smoke check keeps it from quietly
 degrading into something nobody wants to run.  Budgets: 10 s for the
 per-module scan over ``src/``, 5 s for the interprocedural taint pass
-on top of it.  The parallel row compares the process-pool scan against
-a forced-sequential run and asserts they agree finding-for-finding.
+on top of it, and 8 s total for the combined lint + taint + determinism
+run (the exact command the CI ``det`` job executes).  The parallel row
+compares the process-pool scan against a forced-sequential run and
+asserts they agree finding-for-finding.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from .conftest import emit
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BUDGET_SECONDS = 10.0
 TAINT_BUDGET_SECONDS = 5.0
+COMBINED_BUDGET_SECONDS = 8.0
 
 
 def _timed(**kwargs):
@@ -32,6 +35,8 @@ def test_full_tree_pass_under_budget():
     report, elapsed = _timed()
     report_seq, elapsed_seq = _timed(jobs=1)
     report_taint, elapsed_taint = _timed(taint=True)
+    report_det, elapsed_det = _timed(det=True)
+    report_all, elapsed_all = _timed(taint=True, det=True)
 
     per_file = elapsed / max(report.files_scanned, 1)
     emit(
@@ -46,16 +51,26 @@ def test_full_tree_pass_under_budget():
         f"  scan + taint pass  : {elapsed_taint * 1000:.1f} ms"
         f"  ({len(report_taint.findings)} finding(s), "
         f"{len(report_taint.findings) - len(report.findings)} from taint)\n"
+        f"  scan + det pass    : {elapsed_det * 1000:.1f} ms"
+        f"  ({len(report_det.findings)} finding(s), "
+        f"{len(report_det.findings) - len(report.findings)} from det)\n"
+        f"  lint + taint + det : {elapsed_all * 1000:.1f} ms"
+        f"  ({len(report_all.findings)} finding(s))\n"
         f"  budgets            : scan {BUDGET_SECONDS:.0f} s, "
-        f"with taint +{TAINT_BUDGET_SECONDS:.0f} s",
+        f"with taint +{TAINT_BUDGET_SECONDS:.0f} s, "
+        f"combined {COMBINED_BUDGET_SECONDS:.0f} s",
     )
 
     assert report.parse_errors == []
+    assert report_det.det_ran and report_all.det_ran and report_all.taint_ran
     assert elapsed < BUDGET_SECONDS, (
         f"analysis pass took {elapsed:.1f}s (> {BUDGET_SECONDS}s budget)")
     assert elapsed_taint < BUDGET_SECONDS + TAINT_BUDGET_SECONDS, (
         f"taint pass took {elapsed_taint:.1f}s "
         f"(> {BUDGET_SECONDS + TAINT_BUDGET_SECONDS}s budget)")
+    assert elapsed_all < COMBINED_BUDGET_SECONDS, (
+        f"combined lint+taint+det pass took {elapsed_all:.1f}s "
+        f"(> {COMBINED_BUDGET_SECONDS}s budget)")
     # Parallel and sequential scans must agree exactly (determinism).
     assert ([f.fingerprint() for f in report.findings]
             == [f.fingerprint() for f in report_seq.findings])

@@ -47,3 +47,15 @@ class TestFleetLoad:
             f"host wall-clock: run 1 {first_wall:.1f} s, "
             f"run 2 {second_wall:.1f} s",
         ]))
+
+    def test_thousand_device_fleet_is_hash_seed_invariant(self):
+        """The full-scale dynamic determinism witness: same-process
+        replays share one hash seed, so run the default fleet in two
+        subprocesses under different PYTHONHASHSEED values and require
+        byte-identical summary + trace export (what DT604 guards)."""
+        from tests.runtime.test_fleet_replay import run_fleet_under_hash_seed
+
+        first = run_fleet_under_hash_seed(0, devices=1000, timeout=600)
+        second = run_fleet_under_hash_seed(1, devices=1000, timeout=600)
+        assert first == second
+        assert b"--- trace ---" in first

@@ -3,9 +3,10 @@
 Exit codes: 0 clean, 1 findings (or parse errors), 2 usage/config error.
 
 Besides the per-module scan, ``--taint`` runs the interprocedural
-secret-flow pass (SF110/SF111/CD210), ``repro-lint graph`` dumps the
-call graph that pass builds, for auditing how a trace was resolved, and
-``repro-lint verify`` model-checks the TRUST protocol state machine
+secret-flow pass (SF110/SF111/CD210), ``--det`` runs the determinism &
+shard-isolation pass (DT6xx/RC61x), ``repro-lint graph`` dumps the
+call graph those passes share, for auditing how a trace was resolved,
+and ``repro-lint verify`` model-checks the TRUST protocol state machine
 under a Dolev-Yao adversary (PV4xx).
 """
 
@@ -42,6 +43,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--taint", action="store_true",
                         help="also run the interprocedural secret-flow "
                         "pass (SF110/SF111/CD210, with full traces)")
+    parser.add_argument("--det", action="store_true",
+                        help="also run the determinism & shard-isolation "
+                        "pass (DT6xx/RC61x, with full traces)")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="scan only files changed versus --since "
+                        "(git diff plus untracked files)")
+    parser.add_argument("--since", metavar="REF", default="HEAD",
+                        help="git ref --changed-only compares against "
+                        "(default: HEAD)")
     parser.add_argument("--jobs", type=int, metavar="N", default=None,
                         help="worker processes for the per-file scan "
                         "(default: automatic)")
@@ -64,6 +74,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 _SEVERITY_RANK = {"note": 0, "warning": 1, "error": 2}
+
+
+def _changed_files(since: str) -> set[Path] | None:
+    """Resolved paths changed vs ``since``, plus untracked files.
+
+    Returns None when git is unavailable or the ref does not resolve —
+    the caller reports that as a usage error.  Note that with
+    ``--changed-only`` the project-wide passes (taint/det) also see only
+    the changed files; that trades whole-program precision for
+    pre-commit speed, which is the point of the flag.
+    """
+    import subprocess
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", since, "--"],
+            capture_output=True, text=True, check=True).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    root = Path(top)
+    return {(root / line).resolve()
+            for line in (diff + untracked).splitlines() if line.strip()}
 
 
 def _add_fail_on(parser: argparse.ArgumentParser) -> None:
@@ -296,8 +333,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"repro-lint: bad baseline: {exc}", file=sys.stderr)
             return 2
 
-    report = analyze_paths(paths, config, baseline=baseline,
-                           taint=args.taint, jobs=args.jobs)
+    scan_paths: list[Path] | list[str] = paths
+    if args.changed_only:
+        changed = _changed_files(args.since)
+        if changed is None:
+            print(f"repro-lint: --changed-only: git diff against "
+                  f"{args.since!r} failed (not a git checkout, or bad ref)",
+                  file=sys.stderr)
+            return 2
+        scan_paths = [p for p in iter_python_files([Path(p) for p in paths])
+                      if p.resolve() in changed]
+
+    report = analyze_paths(scan_paths, config, baseline=baseline,
+                           taint=args.taint, det=args.det, jobs=args.jobs)
 
     if args.update_baseline:
         if not baseline_path:

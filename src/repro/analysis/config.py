@@ -197,6 +197,57 @@ class AnalysisConfig:
     #: Default baseline file (empty string: no baseline).
     baseline_path: str = ""
 
+    # --------------------------------------------------- determinism (DT/RC)
+    #: Module prefixes the determinism pass skips entirely.  The analysis
+    #: toolchain is host tooling — it times itself with ``perf_counter``
+    #: and walks the filesystem by design — and never runs inside a
+    #: fleet shard, so it is exempt by default.
+    det_exempt_modules: tuple[str, ...] = ("repro.analysis",)
+
+    #: Callable-name patterns that count as order-observable sinks for
+    #: DT604: anything whose output, digest or wire encoding would change
+    #: if its input arrived in a different iteration order.
+    det_order_sinks: tuple[str, ...] = (
+        "join", "encode*", "*_encode", "write*", "*_write", "render*",
+        "*digest*", "sha256*", "sha1*", "md5*", "hmac*", "sign*",
+        "dumps*", "export*", "*summary*", "format*",
+    )
+
+    #: Callable-name patterns that count as float-accumulation sinks for
+    #: DT606 (order-sensitive reductions: float addition is not
+    #: associative, so ``sum`` over a set is hash-order dependent).
+    det_accumulation_sinks: tuple[str, ...] = (
+        "sum", "*merge*", "*accumulate*",
+    )
+
+    #: Callable-name patterns that launder order taint: reductions whose
+    #: result is independent of operand order, plus the canonical fix.
+    det_order_sanitizers: tuple[str, ...] = (
+        "sorted", "len", "min", "max", "all", "any", "bool", "count",
+        "isinstance",
+    )
+
+    #: Packages the shard-isolation escape rules (RC612) police: where
+    #: the future worker-process cut happens.
+    det_shard_packages: tuple[str, ...] = ("repro.runtime",)
+
+    #: Class qualnames whose instances are shard roots — each worker
+    #: process owns some of them, so their internals must never be
+    #: shared or reached into from outside their own methods.
+    det_shard_roots: tuple[str, ...] = (
+        "repro.net.webserver.WebServer",
+        "repro.runtime.scheduler.EventLoop",
+    )
+
+    #: Method names that are approved cross-shard conduits: the explicit
+    #: migration export/import pair and the strict wire codec.  State
+    #: moving between shard roots through these calls is message
+    #: passing, not sharing.
+    det_conduits: tuple[str, ...] = (
+        "export_account", "import_account",
+        "encode_envelope", "decode_envelope",
+    )
+
     # ------------------------------------------------- protocol verification
     #: BFS depth budget for ``repro-lint verify`` (transitions per trace).
     verify_depth: int = 12
@@ -281,6 +332,33 @@ class AnalysisConfig:
         return (_match(low, self.public_patterns)
                 or _match(low, self.bytes_public_patterns))
 
+    # ------------------------------------------------ determinism matching
+    def in_det_exempt_module(self, module: str) -> bool:
+        """Is ``module`` outside the determinism pass's scope?"""
+        return any(module == pkg or module.startswith(pkg + ".")
+                   for pkg in self.det_exempt_modules)
+
+    def is_det_order_sink_name(self, name: str) -> bool:
+        """Is a call to ``name`` an order-observable sink (DT604)?"""
+        return _match(name.lower(), self.det_order_sinks)
+
+    def is_det_accumulation_sink_name(self, name: str) -> bool:
+        """Is a call to ``name`` a float-accumulation sink (DT606)?"""
+        return _match(name.lower(), self.det_accumulation_sinks)
+
+    def is_det_order_sanitizer_name(self, name: str) -> bool:
+        """Does a call to ``name`` produce an order-independent result?"""
+        return _match(name.lower(), self.det_order_sanitizers)
+
+    def in_det_shard_package(self, module: str) -> bool:
+        """Is ``module`` inside the shard-isolation scope (RC612)?"""
+        return any(module == pkg or module.startswith(pkg + ".")
+                   for pkg in self.det_shard_packages)
+
+    def is_det_conduit_name(self, name: str) -> bool:
+        """Is ``name`` an approved cross-shard transfer conduit?"""
+        return name in self.det_conduits
+
     # ----------------------------------------------------------- overrides
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "AnalysisConfig":
@@ -290,9 +368,13 @@ class AnalysisConfig:
         ids), ``baseline`` (str), ``extend-secret-patterns``,
         ``extend-public-patterns`` (lists of fnmatch patterns), and a
         ``taint`` sub-table with ``extend-sources`` / ``extend-sinks`` /
-        ``extend-sanitizers`` pattern lists, and a ``verify`` sub-table
-        with ``depth`` / ``max-states`` / ``entries`` / ``adversary``.
-        Unknown keys are rejected so typos fail loudly.
+        ``extend-sanitizers`` pattern lists, a ``verify`` sub-table
+        with ``depth`` / ``max-states`` / ``entries`` / ``adversary``,
+        and a ``det`` sub-table with ``exempt-modules`` /
+        ``extend-order-sinks`` / ``extend-accumulation-sinks`` /
+        ``extend-sanitizers`` / ``shard-packages`` / ``shard-roots`` /
+        ``extend-conduits``.  Unknown keys are rejected so typos fail
+        loudly.
         """
         import tomllib
 
@@ -304,7 +386,7 @@ class AnalysisConfig:
     def with_overrides(self, section: dict) -> "AnalysisConfig":
         """Apply a ``[tool.trust-lint]``-shaped dict of overrides."""
         known = {"paths", "disable", "baseline", "extend-secret-patterns",
-                 "extend-public-patterns", "taint", "verify"}
+                 "extend-public-patterns", "taint", "verify", "det"}
         unknown = set(section) - known
         if unknown:
             raise ValueError(
@@ -323,7 +405,39 @@ class AnalysisConfig:
             raise ValueError(
                 f"unknown [tool.trust-lint.verify] options: "
                 f"{sorted(verify_unknown)}")
+        det = section.get("det", {})
+        det_known = {"exempt-modules", "extend-order-sinks",
+                     "extend-accumulation-sinks", "extend-sanitizers",
+                     "shard-packages", "shard-roots", "extend-conduits"}
+        det_unknown = set(det) - det_known
+        if det_unknown:
+            raise ValueError(
+                f"unknown [tool.trust-lint.det] options: "
+                f"{sorted(det_unknown)}")
         updates = {}
+        if "exempt-modules" in det:
+            updates["det_exempt_modules"] = tuple(
+                str(m) for m in det["exempt-modules"])
+        if "extend-order-sinks" in det:
+            updates["det_order_sinks"] = self.det_order_sinks + _lower_tuple(
+                det["extend-order-sinks"])
+        if "extend-accumulation-sinks" in det:
+            updates["det_accumulation_sinks"] = (
+                self.det_accumulation_sinks + _lower_tuple(
+                    det["extend-accumulation-sinks"]))
+        if "extend-sanitizers" in det:
+            updates["det_order_sanitizers"] = (
+                self.det_order_sanitizers + _lower_tuple(
+                    det["extend-sanitizers"]))
+        if "shard-packages" in det:
+            updates["det_shard_packages"] = tuple(
+                str(p) for p in det["shard-packages"])
+        if "shard-roots" in det:
+            updates["det_shard_roots"] = tuple(
+                str(r) for r in det["shard-roots"])
+        if "extend-conduits" in det:
+            updates["det_conduits"] = self.det_conduits + tuple(
+                str(c) for c in det["extend-conduits"])
         if "depth" in verify:
             updates["verify_depth"] = int(verify["depth"])
         if "max-states" in verify:

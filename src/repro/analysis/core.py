@@ -112,6 +112,8 @@ class ModuleContext:
         return ctx
 
     def _collect_suppressions(self) -> None:
+        if "trust-lint" not in self.source:
+            return  # no directives anywhere: skip the tokenize pass
         try:
             tokens = list(tokenize.generate_tokens(
                 io.StringIO(self.source).readline))

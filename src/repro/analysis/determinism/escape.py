@@ -1,0 +1,353 @@
+"""RC610/RC611/RC612 — shard-isolation escape analysis.
+
+The future worker-process cut forks one OS process per shard group.
+From that point on, three classes of object silently stop being shared
+while the code still believes they are (or vice versa):
+
+RC610 — module-level mutable globals.  Each worker gets a copy-on-write
+    snapshot; a run-time mutation lands in one worker's copy only, and
+    the merged simulation state diverges from the single-process run.
+    Import-time construction (registries built by decorators, constant
+    tables) is fine — the snapshot is taken after import — so only
+    mutations *from function bodies* are flagged.
+
+RC611 — class-attribute mutation.  Class objects are per-process
+    singletons shared by every shard instance in that worker; mutating
+    one from run-time code couples shards that must be isolated.
+
+RC612 — shard-boundary escapes, scoped to the shard packages.  Objects
+    owned by a shard root (``WebServer``, ``EventLoop``) may only cross
+    to another shard through the strict wire codec or the explicit
+    migration export/import pair.  Two escape shapes are flagged:
+    reaching into a root's private (underscore) attributes from outside
+    its own class, and aliasing attribute state from one root instance
+    onto another without a conduit call in between.
+
+The escape lattice is ``Local ⊑ Message ⊑ Shared``: values a shard
+constructs are Local; a conduit call (``export_account`` → wire bytes →
+``import_account``) lifts them to Message, which is safe to cross;
+anything the rules above flag is Shared, which is what the sharded
+runtime must never contain.  Type information comes from the shared
+:class:`ProjectIndex` (annotations, attribute types, local constructor
+calls) and is deliberately best-effort: the rules aim at the idiomatic
+code this repo contains, with fixtures pinning the supported shapes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import AnalysisConfig
+from ..core import ModuleContext, TraceHop
+from ..taint.symbols import ClassInfo, FunctionInfo, ProjectIndex
+
+__all__ = ["check_escapes"]
+
+#: Method calls that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "insert", "extend", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft", "popleft",
+    "push", "sort", "reverse",
+})
+
+#: Mutable module-global value shapes (literals and bare constructors).
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque",
+    "OrderedDict",
+})
+
+
+def _is_mutable_value(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+def _module_mutable_globals(ctx: ModuleContext) -> dict[str, int]:
+    """name -> definition line of each mutable module-level binding."""
+    out: dict[str, int] = {}
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign):
+            if _is_mutable_value(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        out.setdefault(target.id, stmt.lineno)
+        elif isinstance(stmt, ast.AnnAssign):
+            if (isinstance(stmt.target, ast.Name)
+                    and _is_mutable_value(stmt.value)):
+                out.setdefault(stmt.target.id, stmt.lineno)
+    return out
+
+
+def _local_names(fn: FunctionInfo) -> set[str]:
+    """Names bound inside a function (params + assignment targets)."""
+    bound: set[str] = set(fn.all_params)
+    args = fn.node.args
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            bound.add(extra.arg)
+    for node in ast.walk(fn.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets = [node.target]
+        elif isinstance(node, ast.comprehension):
+            targets = [node.target]
+        elif isinstance(node, ast.NamedExpr):
+            targets = [node.target]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            targets = [item.optional_vars for item in node.items
+                       if item.optional_vars is not None]
+        for target in targets:
+            _collect_bound(target, bound)
+    return bound
+
+
+def _collect_bound(target: ast.expr, bound: set[str]) -> None:
+    """Names a target *binds* — subscript/attribute stores mutate an
+    existing object and bind nothing, so their bases stay out."""
+    if isinstance(target, ast.Name):
+        bound.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elem in target.elts:
+            _collect_bound(elem, bound)
+    elif isinstance(target, ast.Starred):
+        _collect_bound(target.value, bound)
+
+
+class _FunctionTypes:
+    """Best-effort expression typing inside one function body."""
+
+    def __init__(self, fn: FunctionInfo, index: ProjectIndex) -> None:
+        self.fn = fn
+        self.index = index
+        self.var_types: dict[str, str] = dict(fn.param_types)
+        for node in ast.walk(fn.node):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                dotted = index.qualify(fn.module, node.value.func)
+                resolved = (index.resolve_qualname(dotted)
+                            if dotted else None)
+                if isinstance(resolved, ClassInfo):
+                    self.var_types[node.targets[0].id] = resolved.qualname
+            elif (isinstance(node, ast.AnnAssign)
+                  and isinstance(node.target, ast.Name)):
+                resolved_ann = index._resolve_annotation(
+                    fn.module, node.annotation)
+                if resolved_ann:
+                    self.var_types[node.target.id] = resolved_ann
+
+    def type_of(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            if (node.id in ("self", "cls")
+                    and self.fn.class_qualname is not None):
+                return self.fn.class_qualname
+            return self.var_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.type_of(node.value)
+            if base is not None:
+                return self.index.attr_type(base, node.attr)
+        return None
+
+
+def check_escapes(contexts: list[ModuleContext], index: ProjectIndex,
+                  config: AnalysisConfig, emit) -> None:
+    """Run RC610/RC611/RC612 over the project; report through ``emit``."""
+    globals_by_module = {ctx.module: _module_mutable_globals(ctx)
+                         for ctx in contexts}
+    roots = frozenset(config.det_shard_roots)
+    by_module: dict[str, list[FunctionInfo]] = {}
+    for fn in index.functions.values():  # insertion order: deterministic
+        by_module.setdefault(fn.module, []).append(fn)
+    for ctx in sorted(contexts, key=lambda c: c.module):
+        if config.in_det_exempt_module(ctx.module):
+            continue
+        own_globals = globals_by_module.get(ctx.module, {})
+        for fn in by_module.get(ctx.module, []):
+            local = _local_names(fn)
+            types = _FunctionTypes(fn, index)
+            _check_function(fn, ctx, index, config, emit, own_globals,
+                            globals_by_module, local, types, roots)
+
+
+def _check_function(fn: FunctionInfo, ctx: ModuleContext,
+                    index: ProjectIndex, config: AnalysisConfig, emit,
+                    own_globals: dict[str, int],
+                    globals_by_module: dict[str, dict[str, int]],
+                    local: set[str], types: _FunctionTypes,
+                    roots: frozenset) -> None:
+    in_shard_pkg = config.in_det_shard_package(ctx.module)
+
+    def global_def_hop(name: str, def_line: int,
+                       def_module: str) -> TraceHop:
+        def_ctx = index.modules.get(def_module)
+        path = def_ctx.display_path if def_ctx else ctx.display_path
+        return TraceHop(path, def_line,
+                        f"module-level mutable global {name!r} defined here")
+
+    def rc610(node: ast.AST, name: str, def_line: int, def_module: str,
+              how: str) -> None:
+        hops = (global_def_hop(name, def_line, def_module),
+                TraceHop(ctx.display_path, node.lineno,
+                         f"{how} in {fn.short_name}()"))
+        emit("RC610", ctx, node,
+             f"module-level mutable global {name!r} is {how} at run time "
+             "— after the shard fork each worker mutates its own copy; "
+             "hold the state on an object owned by one shard instead",
+             hops)
+
+    def rc611(node: ast.AST, owner: str, attr: str) -> None:
+        hops = (TraceHop(ctx.display_path, node.lineno,
+                         f"class attribute {owner}.{attr} mutated "
+                         f"in {fn.short_name}()"),)
+        emit("RC611", ctx, node,
+             f"class attribute {owner}.{attr} is mutated from a function "
+             "body — class objects are process-wide, so this couples "
+             "every shard in the worker; move the state to instances",
+             hops)
+
+    def resolve_global(expr: ast.expr) -> tuple[str, int, str] | None:
+        """(name, def line, module) when ``expr`` names a mutable global."""
+        if isinstance(expr, ast.Name):
+            if expr.id in own_globals and expr.id not in local:
+                return expr.id, own_globals[expr.id], ctx.module
+            return None
+        if isinstance(expr, ast.Attribute):
+            dotted = index.qualify(ctx.module, expr)
+            if dotted is None:
+                return None
+            mod, _, name = dotted.rpartition(".")
+            lines = globals_by_module.get(mod)
+            if lines is not None and name in lines:
+                return name, lines[name], mod
+        return None
+
+    def class_owner(expr: ast.expr) -> str | None:
+        """Class qualname when ``expr`` denotes a class *object*."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "cls" and fn.class_qualname is not None:
+                return fn.class_qualname
+            if expr.id in local:
+                return None
+        if (isinstance(expr, ast.Attribute) and expr.attr == "__class__"):
+            return types.type_of(expr.value)
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id == "type" and len(expr.args) == 1):
+            return types.type_of(expr.args[0])
+        dotted = index.qualify(ctx.module, expr)
+        if dotted is not None and dotted in index.classes:
+            return dotted
+        return None
+
+    for node in ast.walk(fn.node):
+        # RC610: global statements declare rebinding intent.
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                if name in own_globals:
+                    rc610(node, name, own_globals[name], ctx.module,
+                          "rebound via 'global'")
+            continue
+        # Stores: subscript / augmented assignment on a global or a
+        # class attribute.
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                base = target
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if base is not target:  # there was a subscript store
+                    hit = resolve_global(base)
+                    if hit is not None:
+                        rc610(node, hit[0], hit[1], hit[2],
+                              "written through a subscript")
+                        continue
+                if isinstance(target, ast.Attribute):
+                    owner = class_owner(target.value)
+                    if owner is not None:
+                        rc611(node, owner.rsplit(".", 1)[-1], target.attr)
+                elif (isinstance(target, ast.Name)
+                      and isinstance(node, ast.AugAssign)
+                      and target.id in own_globals
+                      and target.id not in local - {target.id}):
+                    rc610(node, target.id, own_globals[target.id],
+                          ctx.module, "augmented-assigned")
+            if isinstance(node, ast.Assign) and in_shard_pkg:
+                _check_root_alias(node, fn, ctx, config, emit, types, roots)
+            continue
+        # Mutator method calls on globals / class attributes.
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS):
+            receiver = node.func.value
+            hit = resolve_global(receiver)
+            if hit is not None:
+                rc610(node, hit[0], hit[1], hit[2],
+                      f"mutated via .{node.func.attr}()")
+                continue
+            if isinstance(receiver, ast.Attribute):
+                owner = class_owner(receiver.value)
+                if owner is not None:
+                    rc611(node, owner.rsplit(".", 1)[-1], receiver.attr)
+            continue
+        # RC612: private reach-in on a shard root from outside it.
+        if (in_shard_pkg and isinstance(node, ast.Attribute)
+                and node.attr.startswith("_")
+                and not node.attr.startswith("__")):
+            base_type = types.type_of(node.value)
+            if (base_type in roots and fn.class_qualname != base_type):
+                root_name = base_type.rsplit(".", 1)[-1]
+                hops = (TraceHop(ctx.display_path, node.lineno,
+                                 f"reach-in to {root_name}.{node.attr} "
+                                 f"from {fn.short_name}()"),)
+                emit("RC612", ctx, node,
+                     f"private shard-root state {root_name}.{node.attr} "
+                     "is accessed from outside the root's own class — "
+                     "cross-shard state may only move through the wire "
+                     "codec or the migration export/import conduits",
+                     hops)
+
+
+def _check_root_alias(node: ast.Assign, fn: FunctionInfo,
+                      ctx: ModuleContext, config: AnalysisConfig, emit,
+                      types: _FunctionTypes, roots: frozenset) -> None:
+    """``root_a.attr = root_b.attr`` shares one object across shards."""
+    value = node.value
+    if (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and config.is_det_conduit_name(value.func.attr)):
+        return  # explicit migration export: Message, not Shared
+    if not isinstance(value, ast.Attribute):
+        return
+    src_type = types.type_of(value.value)
+    if src_type not in roots:
+        return
+    for target in node.targets:
+        if not isinstance(target, ast.Attribute):
+            continue
+        dst_type = types.type_of(target.value)
+        if dst_type not in roots:
+            continue
+        if ast.dump(target.value) == ast.dump(value.value):
+            continue  # same instance: no cross-shard aliasing
+        src_name = src_type.rsplit(".", 1)[-1]
+        dst_name = dst_type.rsplit(".", 1)[-1]
+        hops = (TraceHop(ctx.display_path, value.lineno,
+                         f"read from {src_name}.{value.attr}"),
+                TraceHop(ctx.display_path, node.lineno,
+                         f"aliased onto {dst_name}.{target.attr} "
+                         f"in {fn.short_name}()"))
+        emit("RC612", ctx, node,
+             f"{dst_name}.{target.attr} aliases {src_name}.{value.attr} "
+             "across shard roots — both shards now mutate one object; "
+             "move state with export_account/import_account or the wire "
+             "codec", hops)

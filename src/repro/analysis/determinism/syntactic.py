@@ -1,0 +1,156 @@
+"""DT601/DT602/DT603/DT605 — syntactic nondeterminism sources.
+
+These four rules need no dataflow: the *call itself* is the defect,
+wherever its result flows.  A library function that reads the wall
+clock, draws from an unseeded RNG, keys on ``id()`` or lists a
+directory is nondeterministic at the point of the call — so each
+finding anchors there, with a one-hop trace naming the resolved symbol.
+
+Resolution goes through the shared :class:`ProjectIndex` import-alias
+maps, so ``from time import perf_counter`` and ``import numpy as np``
+are seen through.  Attribute calls that cannot be resolved to a module
+(``path.iterdir()``) fall back to a short method-name list that is
+unambiguous in practice (``iterdir``/``rglob``/``scandir``...).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import AnalysisConfig
+from ..core import ModuleContext, TraceHop, iter_nodes
+from ..taint.symbols import ProjectIndex
+
+__all__ = ["check_module_sources"]
+
+#: Fully qualified callables that read the wall clock (DT601).
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.localtime", "time.gmtime",
+    "time.clock_gettime", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: OS-entropy / unseedable draws: nondeterministic regardless of args.
+_ENTROPY_CALLS = frozenset({
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "random.SystemRandom", "secrets.token_bytes", "secrets.token_hex",
+    "secrets.token_urlsafe", "secrets.randbelow", "secrets.choice",
+})
+
+#: Constructors that are deterministic *only* when given a seed (DT602).
+_SEEDABLE_CALLS = frozenset({
+    "random.Random", "numpy.random.default_rng", "numpy.random.RandomState",
+    "numpy.random.Generator",
+})
+
+#: Prefixes whose module-level draws use hidden global state (DT602):
+#: ``random.random()``, ``np.random.normal()`` — unseeded by definition
+#: unless the global state was seeded, which no library code may assume.
+_GLOBAL_RNG_PREFIXES = ("random.", "numpy.random.")
+
+#: Fully qualified environment / filesystem-order reads (DT605).
+_AMBIENT_CALLS = frozenset({
+    "os.listdir", "os.walk", "os.scandir", "os.cpu_count", "os.getenv",
+    "os.getcwd", "os.getpid", "glob.glob", "glob.iglob",
+    "platform.node", "socket.gethostname",
+})
+
+#: Method names that read filesystem order on any plausible receiver
+#: (``pathlib.Path`` instances resolve to no module prefix).
+_AMBIENT_METHODS = frozenset({"iterdir", "rglob", "scandir"})
+
+
+def _dotted(index: ProjectIndex, module: str, func: ast.expr) -> str | None:
+    """Resolved dotted name of a call target, through import aliases."""
+    return index.qualify(module, func)
+
+
+def check_module_sources(ctx: ModuleContext, index: ProjectIndex,
+                         config: AnalysisConfig, emit) -> None:
+    """Run DT601/602/603/605 over one module; report through ``emit``."""
+    module = ctx.module
+    for node in iter_nodes(ctx.tree, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("id", "hash"):
+            hop = TraceHop(ctx.display_path, node.lineno,
+                           f"builtin {func.id}() call")
+            emit("DT603", ctx, node,
+                 f"builtin {func.id}() is address/hash-seed dependent — "
+                 "its value differs between processes and runs, so keying "
+                 "or ordering by it breaks replay; use a stable identity "
+                 "(name, index, serial)", (hop,))
+            continue
+        if (isinstance(func, ast.Attribute) and func.attr == "__hash__"):
+            hop = TraceHop(ctx.display_path, node.lineno,
+                           "object.__hash__ call")
+            emit("DT603", ctx, node,
+                 "direct __hash__ use is hash-seed dependent; use a "
+                 "stable identity instead", (hop,))
+            continue
+        dotted = _dotted(index, module, func)
+        if dotted is not None:
+            if dotted in _WALL_CLOCK:
+                hop = TraceHop(ctx.display_path, node.lineno,
+                               f"wall-clock read {dotted}()")
+                emit("DT601", ctx, node,
+                     f"wall-clock read {dotted}() in library code — "
+                     "simulated time must come from the EventLoop's "
+                     "virtual clock so replays are byte-identical", (hop,))
+                continue
+            if dotted in _ENTROPY_CALLS:
+                hop = TraceHop(ctx.display_path, node.lineno,
+                               f"OS-entropy draw {dotted}()")
+                emit("DT602", ctx, node,
+                     f"{dotted}() draws OS entropy — derive randomness "
+                     "from an explicit seed (HmacDrbg, "
+                     "np.random.default_rng(seed))", (hop,))
+                continue
+            if dotted in _SEEDABLE_CALLS:
+                if not node.args and not node.keywords:
+                    hop = TraceHop(ctx.display_path, node.lineno,
+                                   f"unseeded {dotted}()")
+                    emit("DT602", ctx, node,
+                         f"{dotted}() without a seed is entropy-seeded — "
+                         "pass an explicit seed so every stream is a "
+                         "function of the run configuration", (hop,))
+                continue
+            if dotted.startswith(_GLOBAL_RNG_PREFIXES):
+                hop = TraceHop(ctx.display_path, node.lineno,
+                               f"global-state RNG draw {dotted}()")
+                emit("DT602", ctx, node,
+                     f"{dotted}() draws from the hidden module-level RNG "
+                     "state — library code may not assume anyone seeded "
+                     "it; thread an explicit seeded generator instead",
+                     (hop,))
+                continue
+            if dotted in _AMBIENT_CALLS:
+                hop = TraceHop(ctx.display_path, node.lineno,
+                               f"ambient read {dotted}()")
+                emit("DT605", ctx, node,
+                     f"{dotted}() reads ambient host state in library "
+                     "code — environment, filesystem order and host "
+                     "facts differ between workers", (hop,))
+                continue
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _AMBIENT_METHODS):
+            hop = TraceHop(ctx.display_path, node.lineno,
+                           f"filesystem-order read .{func.attr}()")
+            emit("DT605", ctx, node,
+                 f".{func.attr}() yields entries in filesystem order — "
+                 "sort the result before it can influence anything "
+                 "observable", (hop,))
+    # ``os.environ[...]`` / ``os.environ.get(...)``: the read is the
+    # attribute access itself, call or not.
+    for node in iter_nodes(ctx.tree, ast.Attribute):
+        if node.attr != "environ":
+            continue
+        dotted = _dotted(index, module, node)
+        if dotted == "os.environ":
+            hop = TraceHop(ctx.display_path, node.lineno,
+                           "os.environ access")
+            emit("DT605", ctx, node,
+                 "os.environ access in library code — worker processes "
+                 "inherit different environments; take configuration as "
+                 "explicit parameters", (hop,))

@@ -10,13 +10,17 @@ Per-module scanning is embarrassingly parallel, so ``analyze_paths``
 fans files out over a :class:`~concurrent.futures.ProcessPoolExecutor`
 when the file count justifies the fork cost; results are collected in
 submission order and globally sorted, so the output is byte-identical to
-a sequential run.  The optional interprocedural taint pass
-(:mod:`repro.analysis.taint`) runs afterwards in the parent process —
-it needs every module's AST at once and is not parallelisable per file.
+a sequential run.  The project-wide passes (taint, determinism) need
+every module's AST at once and are not parallelisable per file, but
+they are independent of the per-module scan *and* of each other: on a
+big tree the determinism pass runs in a forked child that shares the
+parsed contexts copy-on-write, the taint pass runs in the parent, and
+the scan pool grinds alongside both.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -45,6 +49,7 @@ class AnalysisReport:
     suppressed_count: int = 0
     baselined_count: int = 0
     taint_ran: bool = False
+    det_ran: bool = False
     #: Exploration statistics when this report came from ``repro-lint
     #: verify`` (states, transitions, per-scenario breakdown); else None.
     verify_stats: dict | None = None
@@ -133,6 +138,25 @@ def _scan_worker(payload: tuple[str, str, AnalysisConfig]) -> dict:
             "suppressed": suppressed}
 
 
+def _det_worker(conn, contexts: list[ModuleContext],
+                config: AnalysisConfig) -> None:
+    """Forked child: run the determinism pass, ship findings back.
+
+    Only ever started via the ``fork`` start method, so ``contexts``
+    arrives through copy-on-write memory, not pickling; the findings go
+    back over the pipe (they are small, plain dataclasses).
+    """
+    from .determinism import run_det
+    try:
+        conn.send(("ok", run_det(contexts, config)))
+    # Crash shield: the error is surfaced to the parent, which re-runs
+    # the pass inline to attribute the failure.
+    except BaseException as exc:  # trust-lint: disable=RB301
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
 def _effective_jobs(jobs: int | None, file_count: int) -> int:
     if jobs is not None:
         return max(1, jobs)
@@ -159,26 +183,80 @@ def build_contexts(
 def analyze_paths(paths: list[Path] | list[str],
                   config: AnalysisConfig | None = None,
                   baseline: dict[str, int] | None = None,
-                  *, taint: bool = False,
+                  *, taint: bool = False, det: bool = False,
                   jobs: int | None = None) -> AnalysisReport:
     """Run every enabled rule over the Python files under ``paths``.
 
     ``taint=True`` additionally runs the interprocedural secret-flow
-    pass (SF110/SF111/CD210) over the whole file set.  ``jobs`` forces a
-    worker count for the per-file scan (default: automatic — sequential
-    for small trees, up to 8 processes for large ones).
+    pass (SF110/SF111/CD210) over the whole file set; ``det=True`` runs
+    the determinism & shard-isolation pass (DT6xx/RC61x).  When both are
+    requested they share one symbol table.  ``jobs`` forces a worker
+    count for the per-file scan (default: automatic — sequential for
+    small trees, up to 8 processes for large ones).
     """
     config = config if config is not None else AnalysisConfig.default()
     report = AnalysisReport()
     file_paths = iter_python_files([Path(p) for p in paths])
     payloads = [(str(p), _display_path(p), config) for p in file_paths]
     workers = _effective_jobs(jobs, len(file_paths))
+
+    contexts: list[ModuleContext] = []
+    if taint or det:
+        contexts, _ = build_contexts(file_paths)  # errors already reported
+
+    # Both project passes on a big tree: fork the determinism pass off
+    # first (before any pool exists), so it overlaps the parent's taint
+    # run and the per-module scan.  Small trees stay single-process.
+    det_proc = None
+    det_conn = None
+    if (taint and det and len(file_paths) >= _PARALLEL_THRESHOLD
+            and "fork" in multiprocessing.get_all_start_methods()):
+        mp = multiprocessing.get_context("fork")
+        det_conn, child_conn = mp.Pipe(duplex=False)
+        det_proc = mp.Process(target=_det_worker,
+                              args=(child_conn, contexts, config),
+                              daemon=True)
+        det_proc.start()
+        child_conn.close()
+
+    def project_passes() -> list[Finding]:
+        found: list[Finding] = []
+        index = None
+        if taint:
+            from .taint import TaintAnalysis
+            analysis = TaintAnalysis(contexts, config)
+            found.extend(analysis.run())
+            report.taint_ran = True
+            index = analysis.index
+        if det:
+            det_findings: list[Finding] | None = None
+            if det_proc is not None:
+                try:
+                    status, payload = det_conn.recv()
+                    if status == "ok":
+                        det_findings = payload
+                except EOFError:
+                    det_findings = None  # child died: re-run inline
+                det_proc.join()
+            if det_findings is None:
+                from .determinism import run_det
+                det_findings = run_det(contexts, config, index=index)
+            found.extend(det_findings)
+            report.det_ran = True
+        return found
+
+    interproc: list[Finding] | None = None
     if workers > 1:
         chunk = max(1, len(payloads) // (workers * 4))
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_scan_worker, payloads,
-                                        chunksize=chunk))
+                scan_iter = pool.map(_scan_worker, payloads,
+                                     chunksize=chunk)
+                # The pool grinds the per-module rules while the parent
+                # runs the project-wide passes; collect afterwards.
+                if taint or det:
+                    interproc = project_passes()
+                results = list(scan_iter)
         except BrokenProcessPool:
             # A worker died outright (OOM kill, unpicklable crash).  The
             # scan itself is pure, so fall back to a sequential pass that
@@ -186,6 +264,9 @@ def analyze_paths(paths: list[Path] | list[str],
             results = [_scan_worker(payload) for payload in payloads]
     else:
         results = [_scan_worker(payload) for payload in payloads]
+    if interproc is None and (taint or det):
+        interproc = project_passes()
+
     raw_findings: list[Finding] = []
     for result in results:  # submission order: deterministic
         if result["error"] is not None:
@@ -194,12 +275,8 @@ def analyze_paths(paths: list[Path] | list[str],
         report.files_scanned += 1
         report.suppressed_count += result["suppressed"]
         raw_findings.extend(result["findings"])
-    if taint:
-        from .taint import run_taint
-        contexts, _ = build_contexts(file_paths)  # errors already reported
-        taint_findings, _ = run_taint(contexts, config)
-        raw_findings.extend(taint_findings)
-        report.taint_ran = True
+    if interproc:
+        raw_findings.extend(interproc)
     raw_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if baseline:
         new_findings, baselined = apply_baseline(raw_findings, baseline)
@@ -213,16 +290,16 @@ def analyze_paths(paths: list[Path] | list[str],
 def analyze_source(source: str, module: str = "snippet",
                    config: AnalysisConfig | None = None,
                    is_package: bool = False,
-                   taint: bool = False) -> list[Finding]:
+                   taint: bool = False, det: bool = False) -> list[Finding]:
     """Run the rules over one in-memory snippet (test/fixture entry point)."""
     return analyze_sources({module: source}, config=config,
-                           is_package=is_package, taint=taint)
+                           is_package=is_package, taint=taint, det=det)
 
 
 def analyze_sources(sources: dict[str, str],
                     config: AnalysisConfig | None = None,
                     is_package: bool = False,
-                    taint: bool = False) -> list[Finding]:
+                    taint: bool = False, det: bool = False) -> list[Finding]:
     """Run the rules over a set of in-memory modules ({module: source}).
 
     The multi-module form exists for taint fixtures: cross-module flows
@@ -245,10 +322,15 @@ def analyze_sources(sources: dict[str, str],
             for finding in rule.check(ctx, config):
                 if not ctx.is_suppressed(finding.rule, finding.line):
                     findings.append(finding)
+    index = None
     if taint:
-        from .taint import run_taint
-        taint_findings, _ = run_taint(contexts, config)
-        findings.extend(taint_findings)
+        from .taint import TaintAnalysis
+        analysis = TaintAnalysis(contexts, config)
+        findings.extend(analysis.run())
+        index = analysis.index
+    if det:
+        from .determinism import run_det
+        findings.extend(run_det(contexts, config, index=index))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 

@@ -1,4 +1,5 @@
 """Rule modules; importing this package populates the registry."""
 
-from . import (boundaries, crypto_discipline, observability,  # noqa: F401
-               protocol_verify, robustness, secret_flow_taint, secrets)
+from . import (boundaries, crypto_discipline, determinism,  # noqa: F401
+               observability, protocol_verify, robustness,
+               secret_flow_taint, secrets)

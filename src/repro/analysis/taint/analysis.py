@@ -2,14 +2,18 @@
 
 The analysis runs in two phases over the :class:`ProjectIndex`:
 
-1. **Summary phase** — every function is walked repeatedly until no
-   summary changes.  Walking a function propagates taint through its
-   statements (aliasing, tuple unpacking, container insertion,
-   f-strings, attribute stores) and, at call sites, *applies* the
-   callee's current summary: argument taint flows into the callee's
-   recorded sinks, stores and return value.  Summaries only ever grow
-   (monotone accumulation over a finite token universe), so the fixed
-   point terminates.
+1. **Summary phase** — every function is walked once, then a worklist
+   re-walks only the functions whose inputs moved: callers of a
+   function whose summary grew, and readers of a class-attribute slot
+   that picked up new taint.  Walking a function propagates taint
+   through its statements (aliasing, tuple unpacking, container
+   insertion, f-strings, attribute stores) and, at call sites,
+   *applies* the callee's current summary: argument taint flows into
+   the callee's recorded sinks, stores and return value.  Summaries
+   only ever grow (monotone accumulation over a finite token
+   universe), so the fixed point terminates — and skipping a function
+   whose callee summaries and read slots are unchanged is sound
+   because a re-walk with identical inputs cannot add anything.
 2. **Report phase** — one more walk with stable summaries, now emitting
    findings.  Each finding carries the full source-to-sink trace,
    assembled from the source token's hops, the call-site hop, and the
@@ -47,6 +51,8 @@ from .symbols import ClassInfo, FunctionInfo, ProjectIndex, build_index
 __all__ = ["TaintAnalysis", "run_taint"]
 
 _MAX_ITERATIONS = 12
+#: ``FunctionSummary.shape()`` of a summary nothing has flowed into yet.
+_EMPTY_SHAPE = ((), (), (), (), ())
 #: Container-mutating methods: ``x.append(secret)`` taints ``x``.
 _MUTATORS = frozenset({
     "append", "add", "insert", "extend", "update", "setdefault",
@@ -76,32 +82,70 @@ class TaintAnalysis:
     """One project-wide taint run over a list of module contexts."""
 
     def __init__(self, contexts: list[ModuleContext],
-                 config: AnalysisConfig) -> None:
+                 config: AnalysisConfig,
+                 index: ProjectIndex | None = None) -> None:
         self.config = config
-        self.index: ProjectIndex = build_index(contexts)
+        #: The symbol table is shareable: the determinism pass reuses
+        #: the one it builds rather than re-indexing every module.
+        self.index: ProjectIndex = (index if index is not None
+                                    else build_index(contexts))
         self.summaries: dict[str, FunctionSummary] = {}
         #: (class qualname, attr name) -> Taint stored there.
         self.attr_taint: dict[tuple[str, str], Taint] = {}
         #: caller qualname -> callee qualnames (for ``repro-lint graph``).
         self.call_edges: dict[str, set[str]] = {}
+        #: attr slot -> function qualnames that read it (worklist deps).
+        self.attr_readers: dict[tuple[str, str], set[str]] = {}
         self.findings: list[Finding] = []
         self._emitted: set[tuple] = set()
+        #: name -> (seeds secrecy, seeds timing); the same identifiers
+        #: recur thousands of times per walk, the config match is not free.
+        self._name_seed_cache: dict[str, tuple[bool, bool]] = {}
 
     # ------------------------------------------------------------- driving
     def run(self) -> list[Finding]:
         order = sorted(self.index.functions)
         modules = sorted(self.index.modules)
+        pending = set(order)
         for _ in range(_MAX_ITERATIONS):
-            before = self._state()
+            if not pending:
+                break
+            # Attr-slot keys only ever grow (merge is first-token-wins
+            # per key), so the key set is the whole change signal.
+            attr_before = {slot: frozenset(taint)
+                           for slot, taint in self.attr_taint.items()}
+            grown: set[str] = set()
             for qualname in order:
+                if qualname not in pending:
+                    continue
+                before = (self.summaries[qualname].shape()
+                          if qualname in self.summaries else _EMPTY_SHAPE)
                 self._walk_function(self.index.functions[qualname],
                                     report=False)
+                if self.summaries[qualname].shape() != before:
+                    grown.add(qualname)
+            # Module bodies are tiny (imports and defs are filtered out):
+            # re-walking them every round is cheaper than tracking deps.
             for module in modules:
                 self._walk_module(self.index.modules[module], report=False)
-            # Convergence test over trace-free summary tuples;
-            # nothing here is byte-string key material.
-            if self._state() == before:  # trust-lint: disable=CD210
-                break
+            # Comparing slot-key sets, not byte-string key material.
+            grown_slots = [
+                slot for slot, taint in self.attr_taint.items()
+                if frozenset(taint)  # trust-lint: disable=CD210
+                != attr_before.get(slot, frozenset())]
+            callers: dict[str, set[str]] = {}
+            for caller, callees in self.call_edges.items():
+                for callee in callees:
+                    callers.setdefault(callee, set()).add(caller)
+            pending = set()
+            for qualname in grown:
+                pending.add(qualname)  # recursion feeds its own summary
+                pending.update(callers.get(qualname, ()))
+            for slot in grown_slots:
+                pending.update(self.attr_readers.get(slot, ()))
+            # Module-level callers carry a ``<module>`` qualname; their
+            # bodies are re-walked unconditionally above.
+            pending &= self.index.functions.keys()
         for qualname in order:
             self._walk_function(self.index.functions[qualname], report=True)
         for module in modules:
@@ -109,15 +153,6 @@ class TaintAnalysis:
         self.findings.sort(
             key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
         return self.findings
-
-    def _state(self) -> tuple:
-        summaries = tuple(sorted(
-            (qualname, summary.shape())
-            for qualname, summary in self.summaries.items()))
-        attrs = tuple(sorted(
-            (cls, attr, tuple(sorted(taint)))
-            for (cls, attr), taint in self.attr_taint.items()))
-        return (summaries, attrs)
 
     def _walk_function(self, info: FunctionInfo, report: bool) -> None:
         summary = self.summaries.setdefault(
@@ -150,12 +185,22 @@ class TaintAnalysis:
                 taint = merge(taint, self._name_sources(param, entry))
             st.env[param] = taint
 
+    def _name_seed(self, name: str) -> tuple[bool, bool]:
+        """Cached ``(seeds secrecy, seeds timing)`` for an identifier."""
+        cached = self._name_seed_cache.get(name)
+        if cached is None:
+            cached = (self.config.is_taint_source_name(name),
+                      self.config.is_secret_bytes_name(name))
+            self._name_seed_cache[name] = cached
+        return cached
+
     def _name_sources(self, name: str, hop: TraceHop) -> Taint:
         """Name-based seeding: secret and/or timing-sensitive identifiers."""
+        is_secret, is_bytes = self._name_seed(name)
         taint: Taint = {}
-        if self.config.is_taint_source_name(name):
+        if is_secret:
             taint = merge(taint, make_source(SECRECY, name, hop))
-        if self.config.is_secret_bytes_name(name):
+        if is_bytes:
             taint = merge(taint, make_source(TIMING, name, hop))
         return taint
 
@@ -359,9 +404,14 @@ class TaintAnalysis:
         if node is None:
             return {}
         if isinstance(node, ast.Name):
+            env = st.env.get(node.id)
+            is_secret, is_bytes = self._name_seed(node.id)
+            if not (is_secret or is_bytes):
+                # Taint values are never mutated in place (merge/with_hop
+                # always build fresh dicts), so the env entry is shareable.
+                return env if env is not None else {}
             hop = self._hop(st, node, f"secret-named identifier {node.id!r}")
-            return merge(st.env.get(node.id, {}),
-                         self._name_sources(node.id, hop))
+            return merge(env or {}, self._name_sources(node.id, hop))
         if isinstance(node, ast.Attribute):
             return self._eval_attribute(node, st)
         if isinstance(node, ast.Call):
@@ -400,15 +450,18 @@ class TaintAnalysis:
                 # and per-key slots keep ``fields["mac"]`` taint off
                 # ``fields["domain"]``.
                 self._eval(node.value, st)
-                hop = self._hop(st, node,
-                                f"secret-named field {sl.value!r}")
-                taint = self._name_sources(sl.value, hop)
+                taint: Taint = {}
+                if any(self._name_seed(sl.value)):
+                    hop = self._hop(st, node,
+                                    f"secret-named field {sl.value!r}")
+                    taint = self._name_sources(sl.value, hop)
                 base = node.value
                 if isinstance(base, ast.Attribute):
                     base_type = self._infer_type(base.value, st)
                     if base_type is not None:
-                        stored = self.attr_taint.get(
-                            (base_type, f"{base.attr}[{sl.value}]"))
+                        slot = (base_type, f"{base.attr}[{sl.value}]")
+                        self._record_attr_read(st, slot)
+                        stored = self.attr_taint.get(slot)
                         if stored:
                             read_hop = self._hop(
                                 st, node,
@@ -465,12 +518,16 @@ class TaintAnalysis:
 
     def _eval_attribute(self, node: ast.Attribute, st: _WalkState) -> Taint:
         base_taint = self._eval(node.value, st)
-        hop = self._hop(st, node,
-                        f"secret-named attribute {node.attr!r}")
-        taint = self._name_sources(node.attr, hop)
+        taint: Taint = {}
+        if any(self._name_seed(node.attr)):
+            hop = self._hop(st, node,
+                            f"secret-named attribute {node.attr!r}")
+            taint = self._name_sources(node.attr, hop)
         base_type = self._infer_type(node.value, st)
         if base_type is not None:
-            stored = self.attr_taint.get((base_type, node.attr))
+            slot = (base_type, node.attr)
+            self._record_attr_read(st, slot)
+            stored = self.attr_taint.get(slot)
             if stored:
                 read_hop = self._hop(st, node,
                                      f"read from attribute {node.attr!r}")
@@ -598,6 +655,9 @@ class TaintAnalysis:
         init = self.index.lookup_method(cls.qualname, "__init__")
         result: Taint = {}
         if init is not None:
+            # The call site depends on the __init__ summary, not just the
+            # class: record the edge so the worklist revisits this caller.
+            self._record_edge(st, init.qualname)
             bound = self._bind_args(init, pos_args, kw_args, {}, None, False)
             summary = self.summaries.get(init.qualname)
             stored_params = set()
@@ -907,6 +967,13 @@ class TaintAnalysis:
 
     def _record_edge(self, st: _WalkState, callee: str) -> None:
         self.call_edges.setdefault(st.qualname, set()).add(callee)
+
+    def _record_attr_read(self, st: _WalkState,
+                          slot: tuple[str, str]) -> None:
+        """Remember who reads an attr slot — even while it is still
+        clean, so the worklist revisits the reader once taint lands."""
+        if st.fn is not None:
+            self.attr_readers.setdefault(slot, set()).add(st.fn.qualname)
 
     def _infer_type(self, node: ast.expr | None,
                     st: _WalkState) -> str | None:

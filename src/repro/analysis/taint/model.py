@@ -29,7 +29,7 @@ convergence without being confused by trace refinements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from ..core import TraceHop
 
@@ -91,7 +91,10 @@ def _cap(trace: tuple[TraceHop, ...]) -> tuple[TraceHop, ...]:
 
 def with_hop(value: Taint, hop: TraceHop) -> Taint:
     """The same taint value with one more trace hop on every token."""
-    return {slot: replace(token, trace=_cap(token.trace + (hop,)))
+    # Direct construction: ``dataclasses.replace`` re-validates fields on
+    # every call and this runs hundreds of thousands of times per scan.
+    return {slot: Token(cls=token.cls, kind=token.kind, name=token.name,
+                        trace=_cap(token.trace + (hop,)), local=token.local)
             for slot, token in value.items()}
 
 

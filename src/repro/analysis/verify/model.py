@@ -225,11 +225,11 @@ RISK_OK, RISK_CHALLENGE, RISK_TERMINATE = 0, 6, 9
 
 MUTATIONS: dict[str, str] = {
     "skip-login-signature-check":
-        "handle_login omits the bound-device-key signature check",
+        "_serve_login omits the bound-device-key signature check",
     "skip-replay-check":
         "the server accepts stale/replayed session nonces",
     "skip-attestation-check":
-        "handle_challenge_response omits the FLock attestation check",
+        "_serve_challenge_response omits the FLock attestation check",
     "keep-sessions-on-reset":
         "reset_identity leaves the account's live sessions running",
     "keep-old-device-records":
@@ -362,9 +362,9 @@ def _srv_login(world: World, m: tuple, events: list,
     if world.srv.bound is None:
         return world, None, "reject"
     if not _guard((n, "login") in world.srv.fresh, "skip-replay-check",
-                  opts, events, "handle_login", "nonce-freshness"):
+                  opts, events, "_serve_login", "nonce-freshness"):
         return world, None, "reject"
-    # handle_login consumes the nonce before the MAC/signature checks.
+    # _serve_login consumes the nonce before the MAC/signature checks.
     world = _consume(world, n, "login")
     sealed = f["sealed"]
     if not (isinstance(sealed, tuple) and sealed[0] == "!seal"
@@ -377,7 +377,7 @@ def _srv_login(world: World, m: tuple, events: list,
     if not _guard(dsig == sig_term(sk_for(world.srv.bound),
                                    "login", n, sealed),
                   "skip-login-signature-check", opts, events,
-                  "handle_login", "device-signature"):
+                  "_serve_login", "device-signature"):
         return world, None, "reject"
     if f["risk"] > 7:
         return world, None, "reject"
@@ -399,7 +399,7 @@ def _srv_request(world: World, m: tuple, events: list,
     if sess is None:
         return world, None, "reject"
     if not _guard(f["n"] == sess.expected, "skip-replay-check", opts,
-                  events, "handle_request", "nonce"):
+                  events, "_serve_request", "nonce"):
         return world, None, "reject"
     if f["auth"] != mac_term(sess.sk, "req", s, f["n"], f["risk"]):
         return world, None, "reject"
@@ -432,17 +432,17 @@ def _srv_answer(world: World, m: tuple, events: list,
         return world, None, "reject"
     if sess.pend is None:
         if not _guard(False, "skip-replay-check", opts, events,
-                      "handle_challenge_response", "no-challenge-pending"):
+                      "_serve_challenge_response", "no-challenge-pending"):
             return world, None, "reject"
     if not _guard(f["n"] == sess.expected, "skip-replay-check", opts,
-                  events, "handle_challenge_response", "nonce"):
+                  events, "_serve_challenge_response", "nonce"):
         return world, None, "reject"
     if f["auth"] != mac_term(sess.sk, "resp", s, f["n"], f["att"]):
         return world, None, "reject"
     genuine = (sess.pend is not None
                and f["att"] == mac_term(sess.sk, "attest", sess.pend))
     if not _guard(genuine, "skip-attestation-check", opts, events,
-                  "handle_challenge_response", "attestation"):
+                  "_serve_challenge_response", "attestation"):
         return world, None, "reject"
     events.append(("challenge-cleared", "genuine" if genuine else "forged"))
     world = _consume(world, sess.expected, ("s", s))

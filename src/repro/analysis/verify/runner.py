@@ -26,8 +26,8 @@ __all__ = ["run_verify"]
 _RULE_ANCHORS = {
     "PV400": ("repro/analysis/verify/explorer.py", "explore"),
     "PV401": ("repro/net/channel.py", "send"),
-    "PV402": ("repro/net/webserver.py", "handle_login"),
-    "PV403": ("repro/net/webserver.py", "handle_request"),
+    "PV402": ("repro/net/webserver.py", "_serve_login"),
+    "PV403": ("repro/net/webserver.py", "_serve_request"),
     "PV404": ("repro/net/reset_transfer.py", "transfer_identity"),
     "PV405": ("repro/net/webserver.py", "reset_identity"),
 }
@@ -41,10 +41,10 @@ _KIND_ANCHORS = {
     "answer": ("repro/net/protocol.py", "answer_challenge"),
     "reset": ("repro/net/webserver.py", "reset_identity"),
     "transfer": ("repro/net/reset_transfer.py", "transfer_identity"),
-    "adv-register": ("repro/net/webserver.py", "handle_registration"),
-    "adv-login": ("repro/net/webserver.py", "handle_login"),
-    "adv-request": ("repro/net/webserver.py", "handle_request"),
-    "adv-answer": ("repro/net/webserver.py", "handle_challenge_response"),
+    "adv-register": ("repro/net/webserver.py", "_serve_registration"),
+    "adv-login": ("repro/net/webserver.py", "_serve_login"),
+    "adv-request": ("repro/net/webserver.py", "_serve_request"),
+    "adv-answer": ("repro/net/webserver.py", "_serve_challenge_response"),
     "adv-channel": ("repro/net/channel.py", "send"),
     "malware": ("repro/flock/module.py", "session_mac"),
 }

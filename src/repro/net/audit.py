@@ -73,7 +73,7 @@ class FrameAuditor:
     def _pages(self) -> list[bytes]:
         pages = list(self.server.pages.values())
         # Content pages carry a per-request suffix (see
-        # WebServer.handle_request); enumerate the plausible range.
+        # WebServer._serve_request); enumerate the plausible range.
         content = self.server.pages["content"]
         for request_number in range(1, self.max_dynamic_requests + 1):
             pages.append(content + f" request #{request_number}".encode())

@@ -152,8 +152,8 @@ class TrustClient:
     attribute so a shard router may re-point the client at a different
     :class:`WebServer` replica between interactions (per-account state
     migrates with the account database, not the client).  All server
-    traffic goes through :meth:`WebServer.dispatch` — the facade never
-    touches the deprecated ``handle_*`` surface.
+    traffic goes through :meth:`WebServer.dispatch`, the single inbound
+    surface.
     """
 
     def __init__(self, device: MobileDevice, server: WebServer,

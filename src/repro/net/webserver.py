@@ -10,16 +10,11 @@ benchmarks assert on those codes.
 
 Inbound traffic enters through **one** uniform entry point,
 :meth:`WebServer.dispatch`, which routes on the envelope's ``MSG_*`` type
-over the typed :data:`WebServer.ENDPOINTS` registry.  The historical
-``handle_*`` methods survive as thin deprecated wrappers so existing
-callers (and the TRUST-verify small models anchored on their names) keep
-working; new code — and the ``repro.runtime`` fleet scheduler — must go
-through ``dispatch``.
+over the typed :data:`WebServer.ENDPOINTS` registry.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
@@ -524,41 +519,6 @@ class WebServer:
         })
         return page.set_mac(hmac_sha256(session.session_key,
                                         page.signed_bytes()))
-
-    # -------------------------------------------------- deprecated surface
-    # The pre-dispatch entry points.  Each wrapper calls its endpoint
-    # implementation *directly* (not via message-type routing) so legacy
-    # semantics are preserved exactly — e.g. the replay benchmark pushes a
-    # mistyped envelope through handle_request on purpose.  New code must
-    # use :meth:`dispatch`.
-
-    def handle_registration(self, envelope: Envelope, now: int = 0) -> Envelope:
-        """Deprecated: use :meth:`dispatch`."""
-        warnings.warn("WebServer.handle_registration is deprecated; "
-                      "route through WebServer.dispatch",
-                      DeprecationWarning, stacklevel=2)
-        return self._serve_registration(envelope, now)
-
-    def handle_login(self, envelope: Envelope) -> Envelope:
-        """Deprecated: use :meth:`dispatch`."""
-        warnings.warn("WebServer.handle_login is deprecated; "
-                      "route through WebServer.dispatch",
-                      DeprecationWarning, stacklevel=2)
-        return self._serve_login(envelope, 0)
-
-    def handle_request(self, envelope: Envelope) -> Envelope:
-        """Deprecated: use :meth:`dispatch`."""
-        warnings.warn("WebServer.handle_request is deprecated; "
-                      "route through WebServer.dispatch",
-                      DeprecationWarning, stacklevel=2)
-        return self._serve_request(envelope, 0)
-
-    def handle_challenge_response(self, envelope: Envelope) -> Envelope:
-        """Deprecated: use :meth:`dispatch`."""
-        warnings.warn("WebServer.handle_challenge_response is deprecated; "
-                      "route through WebServer.dispatch",
-                      DeprecationWarning, stacklevel=2)
-        return self._serve_challenge_response(envelope, 0)
 
     # ---------------------------------------------------------- audit API
     def session(self, session_id: str) -> SessionState | None:

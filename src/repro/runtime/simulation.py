@@ -5,8 +5,8 @@
 chains (register → login → continuous requests, with challenge and
 termination branches) against a :class:`~repro.runtime.dispatcher.ServerPool`
 whose shards share one :class:`~repro.runtime.cache.VerificationCache`.
-Every inbound message goes through ``WebServer.dispatch`` — the runtime
-never touches the deprecated ``handle_*`` surface.
+Every inbound message goes through ``WebServer.dispatch``, the single
+inbound surface.
 
 Latency model: an interaction arriving at virtual time ``t`` waits in its
 shard's FIFO :class:`~repro.runtime.scheduler.ServiceQueue`, is served for

@@ -80,10 +80,10 @@ class TestDispatch:
         device.flock.close_session(server.domain)
 
 
-class TestDispatchLegacyParity:
-    def test_registration_identical_via_dispatch_and_legacy(
+class TestDispatchParity:
+    def test_registration_identical_across_same_seeded_servers(
             self, ca, deployment, alice_master):
-        """The same submission binds identically through either surface."""
+        """The same submission binds identically on same-seeded servers."""
         device, _ = deployment
         server_a = WebServer("www.parity.example", ca, b"parity-seed")
         server_b = WebServer("www.parity.example", ca, b"parity-seed")
@@ -98,30 +98,16 @@ class TestDispatchLegacyParity:
         ack_a = channel.recorded(MSG_CONTENT_PAGE, "to-device")[-1].envelope
 
         # Same key seed => server_b issues the same registration nonce;
-        # replay the identical submission through the deprecated wrapper.
+        # replay the identical submission through its own dispatch.
         server_b.registration_page()
         submission = channel.recorded(MSG_REGISTRATION_SUBMIT,
                                       "to-server")[-1].envelope.copy()
-        with pytest.warns(DeprecationWarning):
-            ack_b = server_b.handle_registration(submission)
+        ack_b = server_b.dispatch(submission)
 
         assert ack_b.msg_type == ack_a.msg_type
         assert ack_b.fields == ack_a.fields  # includes the server MAC
         assert server_a.account_key("alice").to_bytes() == \
             server_b.account_key("alice").to_bytes()
-
-    def test_legacy_wrapper_keeps_mistyped_envelope_semantics(self, ca):
-        """handle_request processes whatever it is given (replay bench
-        relies on this); dispatch instead refuses to route it."""
-        server = WebServer("www.d4.example", ca, b"dispatch-4")
-        mistyped = Envelope("cookie-request", {"session": "s"})
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ProtocolError) as excinfo:
-                server.handle_request(mistyped)
-        assert excinfo.value.reason == "malformed-message"
-        with pytest.raises(ProtocolError) as excinfo:
-            server.dispatch(mistyped.copy())
-        assert excinfo.value.reason == "unknown-endpoint"
 
 
 class TestWireCodec:

@@ -2,8 +2,17 @@
 
 The small fleet here (tier-1 sized) is the replay witness for the load
 benchmark in ``benchmarks/test_fleet_load.py``, which runs the full
-1,000-device default configuration.
+1,000-device default configuration.  Same-process replays share one
+hash seed, so :class:`TestHashSeedWitness` additionally runs the fleet
+in two subprocesses under *different* ``PYTHONHASHSEED`` values — the
+dynamic counterpart of the static DT604 rule: if any set-iteration
+order reached the summary or the trace, the bytes would differ.
 """
+
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -96,6 +105,48 @@ class TestFleetBehavior:
                         "verification cache", "per-shard balance"):
             assert heading in result.summary
         assert "throughput" in result.summary
+
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Runs the witness fleet and prints the two observable artifacts: the
+#: metrics summary and the full event-trace export.
+_WITNESS_SCRIPT = """\
+import sys
+from repro.runtime import FleetConfig, FleetSimulation
+
+config = FleetConfig(n_devices=int(sys.argv[1]), n_shards=4, seed=11,
+                     requests_per_device=2, challenge_fraction=0.2,
+                     hijack_fraction=0.1, prototype_count=4, ramp_s=10.0)
+result = FleetSimulation(config).run()
+sys.stdout.write(result.summary)
+sys.stdout.write("\\n--- trace ---\\n")
+for stamp, label in result.trace:
+    sys.stdout.write(f"{stamp!r} {label}\\n")
+"""
+
+
+def run_fleet_under_hash_seed(hash_seed: int, devices: int = 36,
+                              timeout: int = 300) -> bytes:
+    """Fleet summary+trace bytes from a fresh interpreter."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _WITNESS_SCRIPT, str(devices)],
+        capture_output=True, env=env, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+class TestHashSeedWitness:
+    def test_fleet_output_is_hash_seed_invariant(self):
+        first = run_fleet_under_hash_seed(0)
+        second = run_fleet_under_hash_seed(1)
+        assert b"--- trace ---" in first
+        assert first == second
 
 
 class TestWorkloadDraw:
