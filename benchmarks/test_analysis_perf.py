@@ -4,8 +4,8 @@ The analysis pass is a tier-1 gate (tests/analysis/test_self_clean.py),
 so it runs on every merge; this smoke check keeps it from quietly
 degrading into something nobody wants to run.  Budgets: 10 s for the
 per-module scan over ``src/``, 5 s for the interprocedural taint pass
-on top of it, and 8 s total for the combined lint + taint + determinism
-run (the exact command the CI ``det`` job executes).  The parallel row
+on top of it, and 8 s total for the combined lint + taint + det +
+contract run (the exact command the CI jobs execute).  The parallel row
 compares the process-pool scan against a forced-sequential run and
 asserts they agree finding-for-finding.
 """
@@ -36,7 +36,8 @@ def test_full_tree_pass_under_budget():
     report_seq, elapsed_seq = _timed(jobs=1)
     report_taint, elapsed_taint = _timed(taint=True)
     report_det, elapsed_det = _timed(det=True)
-    report_all, elapsed_all = _timed(taint=True, det=True)
+    report_ct, elapsed_ct = _timed(contract=True)
+    report_all, elapsed_all = _timed(taint=True, det=True, contract=True)
 
     per_file = elapsed / max(report.files_scanned, 1)
     emit(
@@ -54,7 +55,10 @@ def test_full_tree_pass_under_budget():
         f"  scan + det pass    : {elapsed_det * 1000:.1f} ms"
         f"  ({len(report_det.findings)} finding(s), "
         f"{len(report_det.findings) - len(report.findings)} from det)\n"
-        f"  lint + taint + det : {elapsed_all * 1000:.1f} ms"
+        f"  scan + contract    : {elapsed_ct * 1000:.1f} ms"
+        f"  ({len(report_ct.findings)} finding(s), "
+        f"{len(report_ct.findings) - len(report.findings)} from contract)\n"
+        f"  five-stage run     : {elapsed_all * 1000:.1f} ms"
         f"  ({len(report_all.findings)} finding(s))\n"
         f"  budgets            : scan {BUDGET_SECONDS:.0f} s, "
         f"with taint +{TAINT_BUDGET_SECONDS:.0f} s, "
@@ -63,13 +67,20 @@ def test_full_tree_pass_under_budget():
 
     assert report.parse_errors == []
     assert report_det.det_ran and report_all.det_ran and report_all.taint_ran
+    assert report_ct.contract_ran and report_all.contract_ran
+    # The contract pass records the canonical payload and per-stage
+    # clocks on the report (the ``--stats`` surface).
+    assert report_all.contract_payload is not None
+    assert report_all.contract_payload["endpoints"]
+    for stage in ("lint", "taint", "det", "contract"):
+        assert report_all.stage_stats[stage]["elapsed_s"] >= 0.0
     assert elapsed < BUDGET_SECONDS, (
         f"analysis pass took {elapsed:.1f}s (> {BUDGET_SECONDS}s budget)")
     assert elapsed_taint < BUDGET_SECONDS + TAINT_BUDGET_SECONDS, (
         f"taint pass took {elapsed_taint:.1f}s "
         f"(> {BUDGET_SECONDS + TAINT_BUDGET_SECONDS}s budget)")
     assert elapsed_all < COMBINED_BUDGET_SECONDS, (
-        f"combined lint+taint+det pass took {elapsed_all:.1f}s "
+        f"five-stage lint+taint+det+contract pass took {elapsed_all:.1f}s "
         f"(> {COMBINED_BUDGET_SECONDS}s budget)")
     # Parallel and sequential scans must agree exactly (determinism).
     assert ([f.fingerprint() for f in report.findings]

@@ -4,10 +4,12 @@ Exit codes: 0 clean, 1 findings (or parse errors), 2 usage/config error.
 
 Besides the per-module scan, ``--taint`` runs the interprocedural
 secret-flow pass (SF110/SF111/CD210), ``--det`` runs the determinism &
-shard-isolation pass (DT6xx/RC61x), ``repro-lint graph`` dumps the
+shard-isolation pass (DT6xx/RC61x), ``--contract`` runs the
+wire-contract conformance pass (CT7xx), ``repro-lint graph`` dumps the
 call graph those passes share, for auditing how a trace was resolved,
-and ``repro-lint verify`` model-checks the TRUST protocol state machine
-under a Dolev-Yao adversary (PV4xx).
+``repro-lint contract`` emits the extracted wire contract as canonical
+JSON, and ``repro-lint verify`` model-checks the TRUST protocol state
+machine under a Dolev-Yao adversary (PV4xx).
 """
 
 from __future__ import annotations
@@ -46,9 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--det", action="store_true",
                         help="also run the determinism & shard-isolation "
                         "pass (DT6xx/RC61x, with full traces)")
+    parser.add_argument("--contract", action="store_true",
+                        help="also run the wire-contract conformance "
+                        "pass (CT700-CT705)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print a per-stage timing and finding-count "
+                        "breakdown to stderr after the report")
     parser.add_argument("--changed-only", action="store_true",
-                        help="scan only files changed versus --since "
-                        "(git diff plus untracked files)")
+                        help="scan files changed versus --since (git diff "
+                        "plus untracked files) and their dependents per "
+                        "the import/call graph")
     parser.add_argument("--since", metavar="REF", default="HEAD",
                         help="git ref --changed-only compares against "
                         "(default: HEAD)")
@@ -80,10 +89,10 @@ def _changed_files(since: str) -> set[Path] | None:
     """Resolved paths changed vs ``since``, plus untracked files.
 
     Returns None when git is unavailable or the ref does not resolve —
-    the caller reports that as a usage error.  Note that with
-    ``--changed-only`` the project-wide passes (taint/det) also see only
-    the changed files; that trades whole-program precision for
-    pre-commit speed, which is the point of the flag.
+    the caller reports that as a usage error.  The caller widens the set
+    with :func:`_expand_dependents`, but the project-wide passes still
+    see only that slice of the tree; that trades whole-program precision
+    for pre-commit speed, which is the point of the flag.
     """
     import subprocess
     try:
@@ -101,6 +110,122 @@ def _changed_files(since: str) -> set[Path] | None:
     root = Path(top)
     return {(root / line).resolve()
             for line in (diff + untracked).splitlines() if line.strip()}
+
+
+def _module_of(dotted: str, modules: set[str]) -> str | None:
+    """Longest known-module prefix of a dotted name, if any."""
+    parts = dotted.split(".")
+    for i in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:i])
+        if prefix in modules:
+            return prefix
+    return None
+
+
+def _expand_dependents(scan_files: list[Path],
+                       all_files: list[Path]) -> list[Path]:
+    """Changed files plus every file that imports or calls into them.
+
+    A pre-commit scan of just the edited file misses breakage in its
+    callers — exactly what the project-wide passes exist to catch.  This
+    builds the shared symbol table over the *full* default path set,
+    derives module-level dependency edges from imports and resolved call
+    sites, and pulls every transitive dependent of a changed module into
+    the scan.
+    """
+    import ast
+    from .taint.symbols import build_index
+    contexts, _ = build_contexts(all_files)
+    if not contexts:
+        return scan_files
+    index = build_index(contexts)
+    modules = set(index.modules)
+    path_of = {ctx.module: Path(ctx.path).resolve() for ctx in contexts}
+
+    # module -> modules it depends on (imports + resolved call targets).
+    deps: dict[str, set[str]] = {m: set() for m in modules}
+    for module, aliases in index.imports.items():
+        for target in aliases.values():
+            dep = _module_of(target, modules)
+            if dep is not None and dep != module:
+                deps[module].add(dep)
+    for fn in index.functions.values():
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = index.qualify(fn.module, node.func)
+            if dotted is None:
+                continue
+            resolved = index.resolve_qualname(dotted)
+            if resolved is not None and resolved.module != fn.module:
+                deps[fn.module].add(resolved.module)
+
+    dependents: dict[str, set[str]] = {m: set() for m in modules}
+    for module, targets in deps.items():
+        for dep in targets:
+            dependents[dep].add(module)
+
+    changed = {p.resolve() for p in scan_files}
+    queue = [m for m in modules if path_of[m] in changed]
+    seen = set(queue)
+    while queue:
+        for dependent in sorted(dependents[queue.pop()]):
+            if dependent not in seen:
+                seen.add(dependent)
+                queue.append(dependent)
+    return sorted(changed | {path_of[m] for m in seen})
+
+
+#: Project-pass rule ids that per-module prefix matching would misfile.
+_TAINT_RULES = frozenset({"SF110", "SF111", "CD210"})
+
+
+def _finding_stage(rule_id: str) -> str:
+    """Which stage a finding came from, by rule-id convention."""
+    if rule_id in _TAINT_RULES:
+        return "taint"
+    if rule_id.startswith(("DT", "RC")):
+        return "det"
+    if rule_id.startswith("CT"):
+        return "contract"
+    if rule_id.startswith("PV"):
+        return "verify"
+    return "lint"
+
+
+def _print_stats(report, total_s: float) -> str:
+    """Per-stage breakdown (stderr) and one perf-log row (returned)."""
+    from collections import Counter
+    counts = Counter(_finding_stage(f.rule) for f in report.findings)
+    stages = ["lint"]
+    stages += ["taint"] if report.taint_ran else []
+    stages += ["det"] if report.det_ran else []
+    stages += ["contract"] if report.contract_ran else []
+    cells = []
+    for stage in stages:
+        elapsed = report.stage_stats.get(stage, {}).get("elapsed_s", 0.0)
+        print(f"stats: {stage:8s} findings={counts.get(stage, 0):<3d} "
+              f"elapsed={elapsed:.2f}s", file=sys.stderr)
+        cells.append(f"{stage}={elapsed:.2f}s")
+    print(f"stats: total    findings={len(report.findings):<3d} "
+          f"elapsed={total_s:.2f}s files={report.files_scanned}",
+          file=sys.stderr)
+    return (f"repro-lint --stats: files={report.files_scanned} "
+            f"findings={len(report.findings)} " + " ".join(cells)
+            + f" total={total_s:.2f}s")
+
+
+def _append_perf_row(row: str) -> None:
+    """Append the --stats row to the committed perf log, when present."""
+    root = find_pyproject(Path.cwd())
+    if root is None:
+        return
+    results = root.parent / "benchmarks" / "results"
+    if not results.is_dir():
+        return
+    log = results / "analysis_perf.txt"
+    with log.open("a", encoding="utf-8") as handle:
+        handle.write(row + "\n")
 
 
 def _add_fail_on(parser: argparse.ArgumentParser) -> None:
@@ -304,6 +429,8 @@ def main(argv: list[str] | None = None) -> int:
         return _graph_main(argv[1:])
     if argv and argv[0] == "verify":
         return _verify_main(argv[1:])
+    if argv and argv[0] == "contract":
+        return _contract_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -341,11 +468,17 @@ def main(argv: list[str] | None = None) -> int:
                   f"{args.since!r} failed (not a git checkout, or bad ref)",
                   file=sys.stderr)
             return 2
-        scan_paths = [p for p in iter_python_files([Path(p) for p in paths])
-                      if p.resolve() in changed]
+        all_files = iter_python_files([Path(p) for p in paths])
+        scan_paths = [p for p in all_files if p.resolve() in changed]
+        if scan_paths:
+            scan_paths = _expand_dependents(scan_paths, all_files)
 
+    import time
+    run_started = time.perf_counter()
     report = analyze_paths(scan_paths, config, baseline=baseline,
-                           taint=args.taint, det=args.det, jobs=args.jobs)
+                           taint=args.taint, det=args.det,
+                           contract=args.contract, jobs=args.jobs)
+    run_elapsed = time.perf_counter() - run_started
 
     if args.update_baseline:
         if not baseline_path:
@@ -362,7 +495,65 @@ def main(argv: list[str] | None = None) -> int:
     renderers = {"text": render_text, "json": render_json,
                  "sarif": render_sarif}
     print(renderers[args.format](report))
+    if args.stats:
+        _append_perf_row(_print_stats(report, run_elapsed))
     return _exit_code(report, args.fail_on)
+
+
+def build_contract_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint contract",
+        description=("extract the wire contract (endpoints, envelope "
+                     "schemas, client call shapes, reason codes, version "
+                     "gates) and emit it as canonical JSON"),
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to extract from "
+                        "(default: the [tool.trust-lint] paths, then "
+                        "'src')")
+    parser.add_argument("--write", metavar="FILE", default=None,
+                        help="write the contract to FILE instead of "
+                        "stdout (for regenerating the committed golden)")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.trust-lint] in pyproject.toml")
+    return parser
+
+
+def _contract_main(argv: list[str]) -> int:
+    args = build_contract_parser().parse_args(argv)
+    if args.no_config:
+        config = AnalysisConfig.default()
+    else:
+        anchor = Path(args.paths[0]) if args.paths else Path.cwd()
+        pyproject = find_pyproject(anchor)
+        try:
+            config = (AnalysisConfig.from_pyproject(pyproject)
+                      if pyproject is not None
+                      else AnalysisConfig.default())
+        except (ValueError, OSError) as exc:
+            print(f"repro-lint: configuration error: {exc}",
+                  file=sys.stderr)
+            return 2
+    paths = args.paths or list(config.default_paths)
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    from .contract import (contract_payload, extract_contract,
+                           render_contract)
+    contexts, errors = build_contexts(
+        iter_python_files([Path(p) for p in paths]))
+    for display, message in errors:
+        print(f"{display}: PARSE {message}", file=sys.stderr)
+    text = render_contract(contract_payload(extract_contract(contexts,
+                                                             config)))
+    if args.write:
+        Path(args.write).write_text(text, encoding="utf-8")
+        print(f"contract written to {args.write}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

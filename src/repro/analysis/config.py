@@ -248,6 +248,49 @@ class AnalysisConfig:
         "encode_envelope", "decode_envelope",
     )
 
+    # --------------------------------------------------- wire contract (CT)
+    #: Modules holding the server side of the wire protocol: the typed
+    #: endpoint registry, the dispatch entry point, and every reply the
+    #: server constructs.
+    contract_server_modules: tuple[str, ...] = ("repro.net.webserver",)
+
+    #: Modules holding the strict wire codec: message-type constants, the
+    #: version constants, ``encode_envelope``/``decode_envelope`` and the
+    #: shared ``ProtocolError`` reason vocabulary.
+    contract_codec_modules: tuple[str, ...] = ("repro.net.message",)
+
+    #: Modules holding the client call surface (``TrustClient``).  These
+    #: are held to the strict schema: every envelope they build is checked
+    #: against the endpoint registry, and every reply field they read
+    #: must be presence-checked first (CT704).
+    contract_client_modules: tuple[str, ...] = ("repro.net.protocol",)
+
+    #: Modules whose wire-field reads count as client-side consumption
+    #: for the schema-drift rule (CT701), beyond the strict client
+    #: surface (the browser renders ``page``, the device relays).
+    contract_read_modules: tuple[str, ...] = (
+        "repro.net.protocol", "repro.net.browser", "repro.net.device",
+    )
+
+    #: Directories searched (as text, recursively, ``*.py`` only) for
+    #: reason-code assertions (CT702): a rejection code the server can
+    #: emit must be asserted somewhere client- or test-side, or it is
+    #: unobservable vocabulary drift.
+    contract_consumer_paths: tuple[str, ...] = ("tests", "benchmarks")
+
+    #: The committed golden contract artifact CT705 diffs against
+    #: (relative to the working directory; empty string disables CT705).
+    contract_golden: str = "benchmarks/results/contract.json"
+
+    #: Function-name patterns that are strict decode paths (CT704): any
+    #: exception handler inside them that fails to re-raise is a decode
+    #: path that fails open on malformed input.
+    contract_decode_patterns: tuple[str, ...] = ("decode*", "*_decode_*")
+
+    #: Class-name patterns for the wire envelope constructor whose call
+    #: sites define produced message schemas.
+    contract_envelope_names: tuple[str, ...] = ("Envelope",)
+
     # ------------------------------------------------- protocol verification
     #: BFS depth budget for ``repro-lint verify`` (transitions per trace).
     verify_depth: int = 12
@@ -359,6 +402,32 @@ class AnalysisConfig:
         """Is ``name`` an approved cross-shard transfer conduit?"""
         return name in self.det_conduits
 
+    # --------------------------------------------------- contract matching
+    def in_contract_server_module(self, module: str) -> bool:
+        """Does ``module`` hold the server side of the wire protocol?"""
+        return module in self.contract_server_modules
+
+    def in_contract_codec_module(self, module: str) -> bool:
+        """Does ``module`` hold the strict wire codec?"""
+        return module in self.contract_codec_modules
+
+    def in_contract_client_module(self, module: str) -> bool:
+        """Does ``module`` hold the strict client call surface?"""
+        return module in self.contract_client_modules
+
+    def in_contract_read_module(self, module: str) -> bool:
+        """Do ``module``'s field reads count as client consumption?"""
+        return (module in self.contract_read_modules
+                or module in self.contract_client_modules)
+
+    def is_contract_decode_name(self, name: str) -> bool:
+        """Is ``name`` a strict decode path (must fail closed, CT704)?"""
+        return _match(name.lower(), self.contract_decode_patterns)
+
+    def is_contract_envelope_name(self, name: str) -> bool:
+        """Does a call to ``name`` construct a wire envelope?"""
+        return name in self.contract_envelope_names
+
     # ----------------------------------------------------------- overrides
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "AnalysisConfig":
@@ -373,8 +442,11 @@ class AnalysisConfig:
         and a ``det`` sub-table with ``exempt-modules`` /
         ``extend-order-sinks`` / ``extend-accumulation-sinks`` /
         ``extend-sanitizers`` / ``shard-packages`` / ``shard-roots`` /
-        ``extend-conduits``.  Unknown keys are rejected so typos fail
-        loudly.
+        ``extend-conduits``, and a ``contract`` sub-table with
+        ``server-modules`` / ``codec-modules`` / ``client-modules`` /
+        ``read-modules`` / ``consumer-paths`` / ``golden`` /
+        ``decode-patterns`` / ``envelope-names``.  Unknown keys are
+        rejected so typos fail loudly.
         """
         import tomllib
 
@@ -386,7 +458,8 @@ class AnalysisConfig:
     def with_overrides(self, section: dict) -> "AnalysisConfig":
         """Apply a ``[tool.trust-lint]``-shaped dict of overrides."""
         known = {"paths", "disable", "baseline", "extend-secret-patterns",
-                 "extend-public-patterns", "taint", "verify", "det"}
+                 "extend-public-patterns", "taint", "verify", "det",
+                 "contract"}
         unknown = set(section) - known
         if unknown:
             raise ValueError(
@@ -414,7 +487,40 @@ class AnalysisConfig:
             raise ValueError(
                 f"unknown [tool.trust-lint.det] options: "
                 f"{sorted(det_unknown)}")
+        contract = section.get("contract", {})
+        contract_known = {"server-modules", "codec-modules",
+                          "client-modules", "read-modules",
+                          "consumer-paths", "golden", "decode-patterns",
+                          "envelope-names"}
+        contract_unknown = set(contract) - contract_known
+        if contract_unknown:
+            raise ValueError(
+                f"unknown [tool.trust-lint.contract] options: "
+                f"{sorted(contract_unknown)}")
         updates = {}
+        if "server-modules" in contract:
+            updates["contract_server_modules"] = tuple(
+                str(m) for m in contract["server-modules"])
+        if "codec-modules" in contract:
+            updates["contract_codec_modules"] = tuple(
+                str(m) for m in contract["codec-modules"])
+        if "client-modules" in contract:
+            updates["contract_client_modules"] = tuple(
+                str(m) for m in contract["client-modules"])
+        if "read-modules" in contract:
+            updates["contract_read_modules"] = tuple(
+                str(m) for m in contract["read-modules"])
+        if "consumer-paths" in contract:
+            updates["contract_consumer_paths"] = tuple(
+                str(p) for p in contract["consumer-paths"])
+        if "golden" in contract:
+            updates["contract_golden"] = str(contract["golden"])
+        if "decode-patterns" in contract:
+            updates["contract_decode_patterns"] = _lower_tuple(
+                contract["decode-patterns"])
+        if "envelope-names" in contract:
+            updates["contract_envelope_names"] = tuple(
+                str(n) for n in contract["envelope-names"])
         if "exempt-modules" in det:
             updates["det_exempt_modules"] = tuple(
                 str(m) for m in det["exempt-modules"])

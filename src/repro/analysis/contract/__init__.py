@@ -1,0 +1,17 @@
+"""TRUST-contract: wire-contract extraction and conformance checking.
+
+The fifth assurance stage.  :mod:`.extract` statically derives the wire
+contract (endpoints, envelope schemas, client call shapes, reason-code
+vocabulary, version gates) from the same parsed module set the taint and
+determinism passes share; :mod:`.conformance` checks the two sides of
+the protocol against each other (CT700–CT704) and the tree against the
+committed golden ``contract.json`` (CT705).
+"""
+
+from .conformance import run_contract
+from .extract import contract_payload, extract_contract, render_contract
+
+__all__ = [
+    "run_contract", "extract_contract", "contract_payload",
+    "render_contract",
+]

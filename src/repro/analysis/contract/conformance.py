@@ -1,0 +1,292 @@
+"""CT700-CT705: conformance checks over the extracted wire contract.
+
+Each rule compares two independently-derived views of the protocol that
+must agree:
+
+* CT700 — the endpoint registry vs the client's call shapes;
+* CT701 — fields encoded by one side vs fields decoded by the other
+  (precise per message type client->server, aggregated server->client
+  because replies share a renderer);
+* CT702 — the server's reason-code vocabulary vs client-side handling
+  and test/benchmark assertions;
+* CT703 — the dispatch version gate vs the codec's supported set;
+* CT704 — decode paths that fail open (swallowing handlers, unchecked
+  or defaulted wire-field reads in strict contexts);
+* CT705 — the freshly extracted contract vs the committed golden
+  ``contract.json`` (removals are breaking-change errors, additions
+  are regenerate-the-artifact warnings).
+
+Entry point: :func:`run_contract` mirrors ``run_det`` — same contexts,
+same config, optionally the shared symbol table — and returns both the
+sorted findings and the canonical payload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..config import AnalysisConfig
+from ..core import Finding, ModuleContext, get_rule
+from ..taint.symbols import ProjectIndex
+from .extract import (WireContract, contract_payload, extract_contract)
+
+__all__ = ["run_contract"]
+
+
+def _consumer_texts(config: AnalysisConfig) -> list:
+    """Raw text of every ``*.py`` under the consumer paths, sorted."""
+    texts = []
+    for root in config.contract_consumer_paths:
+        base = Path(root)
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            try:
+                texts.append(path.read_text(encoding="utf-8"))
+            except (OSError, UnicodeDecodeError):  # pragma: no cover
+                continue
+    return texts
+
+
+def _resolve_gate_values(gate, contract: WireContract):
+    """The int set a gate admits, when statically known."""
+    if gate.values is not None:
+        return gate.values
+    if gate.symbol is not None and gate.symbol in contract.supported_symbols:
+        return contract.supported_versions
+    return None
+
+
+def run_contract(contexts: list, config: AnalysisConfig,
+                 index: ProjectIndex | None = None
+                 ) -> tuple[list, dict]:
+    """Extract the contract and check conformance.
+
+    Returns ``(findings, payload)``: the sorted CT7xx findings and the
+    canonical ``contract.json`` payload for the same module set.
+    """
+    contract = extract_contract(contexts, config, index=index)
+    payload = contract_payload(contract)
+    findings: list[Finding] = []
+    emitted: set = set()
+
+    def emit(rule_id: str, ctx: ModuleContext | None, node, message: str,
+             *, severity: str | None = None, path: str = "",
+             source_line: str = "") -> None:
+        if not config.rule_enabled(rule_id):
+            return
+        if ctx is not None:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            if ctx.is_suppressed(rule_id, line):
+                return
+            path = ctx.display_path
+            module = ctx.module
+            source_line = ctx.source_line(line)
+        else:
+            line, col, module = 1, 0, "contract"
+        marker = (rule_id, path, line, col, message)
+        if marker in emitted:
+            return
+        emitted.add(marker)
+        findings.append(Finding(
+            rule=rule_id, message=message, path=path, module=module,
+            line=line, col=col, source_line=source_line,
+            severity=severity or get_rule(rule_id).severity))
+
+    # ------------------------------------------------------ CT700 reach
+    if contract.has_server and contract.has_client:
+        for msg in sorted(contract.endpoints):
+            if msg in contract.client_messages:
+                continue
+            decl = contract.endpoints[msg]
+            emit("CT700", decl.ctx, decl.node,
+                 f"endpoint '{msg}' ({decl.handler_qualname}) is "
+                 f"registered but no client call shape ever sends it")
+        for msg in sorted(contract.client_messages):
+            if msg in contract.endpoints:
+                continue
+            site = next(s for s in contract.client_sites
+                        if s.msg_type == msg)
+            emit("CT700", site.ctx, site.node,
+                 f"client sends message type '{msg}' but no endpoint is "
+                 f"registered for it")
+
+    # ------------------------------------------------ CT701 schema drift
+    if contract.has_server and contract.has_client:
+        for msg in sorted(contract.endpoints):
+            if msg not in contract.client_messages:
+                continue  # reachability already flagged by CT700
+            decl = contract.endpoints[msg]
+            produced = contract.client_messages[msg]
+            consumed = decl.request_fields | decl.reads
+            for fld in sorted(produced - consumed - {"mac"}):
+                site = next(s for s in contract.client_sites
+                            if s.msg_type == msg and fld in s.fields)
+                emit("CT701", site.ctx, site.node,
+                     f"field '{fld}' of '{msg}' is sent by the client "
+                     f"but never decoded by {decl.handler_qualname}")
+            for fld in sorted(decl.request_fields - produced - {"mac"}):
+                emit("CT701", decl.ctx, decl.node,
+                     f"{decl.handler_qualname} requires field '{fld}' of "
+                     f"'{msg}' but the client never produces it")
+    if contract.has_server and contract.has_reader:
+        for msg in sorted(contract.server_messages):
+            unread = (contract.server_messages[msg]
+                      - contract.client_reads - {"mac"})
+            for fld in sorted(unread):
+                site = next(s for s in contract.server_sites
+                            if s.msg_type == msg and fld in s.fields)
+                emit("CT701", site.ctx, site.node,
+                     f"field '{fld}' of server message '{msg}' is "
+                     f"produced but never read by any client-side "
+                     f"consumer")
+
+    # ------------------------------------------- CT702 reason vocabulary
+    if contract.reasons and (contract.has_client or contract.has_reader
+                             or config.contract_consumer_paths):
+        texts = None  # read lazily: most repos handle every reason
+        for reason in sorted(contract.reasons):
+            if reason in contract.reader_literals:
+                continue
+            if texts is None:
+                texts = _consumer_texts(config)
+            quoted = (f'"{reason}"', f"'{reason}'")
+            if any(q in text for q in quoted for text in texts):
+                continue
+            site = min(contract.reasons[reason],
+                       key=lambda s: (s.ctx.display_path,
+                                      getattr(s.node, "lineno", 1)))
+            where = (", ".join(config.contract_consumer_paths)
+                     or "the consumer paths")
+            emit("CT702", site.ctx, site.node,
+                 f"reason code '{reason}' is emitted but never handled "
+                 f"client-side nor asserted under {where}")
+
+    # --------------------------------------------- CT703 version gates
+    dispatch_gates = [g for g in contract.gates if g.kind == "dispatch"]
+    decode_gates = [g for g in contract.gates if g.kind == "decode"]
+    if contract.dispatch_functions and not dispatch_gates:
+        ctx, node, qualname = contract.dispatch_functions[0]
+        emit("CT703", ctx, node,
+             f"{qualname} routes inbound envelopes without an "
+             f"envelope-version gate")
+    if contract.decode_functions and contract.has_codec and not decode_gates:
+        ctx, node, qualname = contract.decode_functions[0]
+        emit("CT703", ctx, node,
+             f"no decode path checks the envelope version "
+             f"({qualname} and peers accept any version)")
+    if contract.supported_versions is not None:
+        for gate in contract.gates:
+            values = _resolve_gate_values(gate, contract)
+            if values is not None:
+                if values != contract.supported_versions:
+                    emit("CT703", gate.ctx, gate.node,
+                         f"{gate.kind} version gate accepts "
+                         f"{sorted(values)} but the codec supports "
+                         f"{sorted(contract.supported_versions)}")
+            elif gate.symbol is not None:
+                emit("CT703", gate.ctx, gate.node,
+                     f"{gate.kind} version gate checks {gate.symbol}, "
+                     f"not the codec's supported-version set")
+        if (contract.protocol_version is not None
+                and contract.protocol_version
+                not in contract.supported_versions):
+            ctx, node = (contract.version_site
+                         or contract.supported_site)
+            emit("CT703", ctx, node,
+                 f"PROTOCOL_VERSION {contract.protocol_version} is not "
+                 f"in SUPPORTED_PROTOCOL_VERSIONS "
+                 f"{sorted(contract.supported_versions)}")
+
+    # ------------------------------------------- CT704 fail-open decode
+    for ctx, handler, qualname in contract.swallowed:
+        emit("CT704", ctx, handler,
+             f"exception handler in decode path {qualname} swallows "
+             f"malformed input without re-raising")
+    for read in contract.strict_reads:
+        if read.kind == "get":
+            emit("CT704", read.ctx, read.node,
+                 f"wire field '{read.name}' is read with a defaulted "
+                 f"get() in {read.function} — a missing field is "
+                 f"silently tolerated")
+        else:
+            emit("CT704", read.ctx, read.node,
+                 f"wire field '{read.name}' is read in {read.function} "
+                 f"without a require() presence check — decode fails "
+                 f"open on a missing field")
+
+    # --------------------------------------------- CT705 golden drift
+    if config.contract_golden:
+        _check_golden(config, payload, emit)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, payload
+
+
+def _check_golden(config: AnalysisConfig, payload: dict, emit) -> None:
+    """Diff the fresh payload against the committed golden artifact."""
+    golden_path = config.contract_golden
+
+    def drift(message: str, *, breaking: bool) -> None:
+        emit("CT705", None, None,
+             message + (" — a breaking protocol change must update the "
+                        "committed contract artifact" if breaking
+                        else " — regenerate the committed contract "
+                             "artifact (repro-lint contract --write "
+                             f"{golden_path})"),
+             severity="error" if breaking else "warning",
+             path=golden_path, source_line=message)
+
+    path = Path(golden_path)
+    if not path.is_file():
+        emit("CT705", None, None,
+             f"golden contract artifact {golden_path} is missing — "
+             f"generate it with: repro-lint contract --write "
+             f"{golden_path}",
+             severity="warning", path=golden_path,
+             source_line="missing golden contract")
+        return
+    try:
+        golden = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, OSError) as exc:
+        emit("CT705", None, None,
+             f"golden contract artifact {golden_path} is unreadable: "
+             f"{exc}",
+             path=golden_path, source_line="unreadable golden contract")
+        return
+
+    def diff_keys(kind: str, old: dict | list, new: dict | list) -> None:
+        old_set, new_set = set(old), set(new)
+        for name in sorted(old_set - new_set):
+            drift(f"{kind} '{name}' was removed from the wire contract",
+                  breaking=True)
+        for name in sorted(new_set - old_set):
+            drift(f"{kind} '{name}' was added to the wire contract",
+                  breaking=False)
+
+    old_protocol = golden.get("protocol", {})
+    new_protocol = payload["protocol"]
+    if old_protocol.get("wire_version") != new_protocol["wire_version"]:
+        drift(f"wire version changed from "
+              f"{old_protocol.get('wire_version')} to "
+              f"{new_protocol['wire_version']}", breaking=True)
+    diff_keys("supported version",
+              [str(v) for v in old_protocol.get("supported_versions", [])],
+              [str(v) for v in new_protocol["supported_versions"]])
+    diff_keys("endpoint", golden.get("endpoints", {}),
+              payload["endpoints"])
+    for msg in sorted(set(golden.get("endpoints", {}))
+                      & set(payload["endpoints"])):
+        diff_keys(f"request field of '{msg}'",
+                  golden["endpoints"][msg].get("request_fields", []),
+                  payload["endpoints"][msg]["request_fields"])
+    for side in ("server_messages", "client_messages"):
+        kind = side.replace("_", " ").rstrip("s")
+        diff_keys(kind, golden.get(side, {}), payload[side])
+        for msg in sorted(set(golden.get(side, {})) & set(payload[side])):
+            diff_keys(f"field of {kind} '{msg}'",
+                      golden[side][msg], payload[side][msg])
+    diff_keys("reason code", golden.get("reason_codes", []),
+              payload["reason_codes"])

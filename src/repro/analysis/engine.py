@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -50,6 +51,14 @@ class AnalysisReport:
     baselined_count: int = 0
     taint_ran: bool = False
     det_ran: bool = False
+    contract_ran: bool = False
+    #: Canonical wire-contract payload when the contract pass ran; the
+    #: same dict ``repro-lint contract`` serialises as ``contract.json``.
+    contract_payload: dict | None = None
+    #: Wall-clock seconds per stage (``{"lint": {"elapsed_s": ...}}``).
+    #: Overlapped stages report their own clock, so the values can sum
+    #: to more than the run's total wall time.
+    stage_stats: dict = field(default_factory=dict)
     #: Exploration statistics when this report came from ``repro-lint
     #: verify`` (states, transitions, per-scenario breakdown); else None.
     verify_stats: dict | None = None
@@ -148,11 +157,13 @@ def _det_worker(conn, contexts: list[ModuleContext],
     """
     from .determinism import run_det
     try:
-        conn.send(("ok", run_det(contexts, config)))
+        started = time.perf_counter()
+        findings = run_det(contexts, config)
+        conn.send(("ok", findings, time.perf_counter() - started))
     # Crash shield: the error is surfaced to the parent, which re-runs
     # the pass inline to attribute the failure.
     except BaseException as exc:  # trust-lint: disable=RB301
-        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.send(("error", f"{type(exc).__name__}: {exc}", 0.0))
     finally:
         conn.close()
 
@@ -184,24 +195,28 @@ def analyze_paths(paths: list[Path] | list[str],
                   config: AnalysisConfig | None = None,
                   baseline: dict[str, int] | None = None,
                   *, taint: bool = False, det: bool = False,
+                  contract: bool = False,
                   jobs: int | None = None) -> AnalysisReport:
     """Run every enabled rule over the Python files under ``paths``.
 
     ``taint=True`` additionally runs the interprocedural secret-flow
     pass (SF110/SF111/CD210) over the whole file set; ``det=True`` runs
-    the determinism & shard-isolation pass (DT6xx/RC61x).  When both are
-    requested they share one symbol table.  ``jobs`` forces a worker
-    count for the per-file scan (default: automatic — sequential for
-    small trees, up to 8 processes for large ones).
+    the determinism & shard-isolation pass (DT6xx/RC61x);
+    ``contract=True`` runs the wire-contract conformance pass (CT7xx)
+    and records the canonical payload on the report.  The project passes
+    share one symbol table.  ``jobs`` forces a worker count for the
+    per-file scan (default: automatic — sequential for small trees, up
+    to 8 processes for large ones).
     """
     config = config if config is not None else AnalysisConfig.default()
     report = AnalysisReport()
     file_paths = iter_python_files([Path(p) for p in paths])
     payloads = [(str(p), _display_path(p), config) for p in file_paths]
     workers = _effective_jobs(jobs, len(file_paths))
+    project = taint or det or contract
 
     contexts: list[ModuleContext] = []
-    if taint or det:
+    if project:
         contexts, _ = build_contexts(file_paths)  # errors already reported
 
     # Both project passes on a big tree: fork the determinism pass off
@@ -223,16 +238,21 @@ def analyze_paths(paths: list[Path] | list[str],
         found: list[Finding] = []
         index = None
         if taint:
+            started = time.perf_counter()
             from .taint import TaintAnalysis
             analysis = TaintAnalysis(contexts, config)
             found.extend(analysis.run())
             report.taint_ran = True
             index = analysis.index
+            report.stage_stats["taint"] = {
+                "elapsed_s": time.perf_counter() - started}
         if det:
+            started = time.perf_counter()
             det_findings: list[Finding] | None = None
+            det_elapsed = 0.0
             if det_proc is not None:
                 try:
-                    status, payload = det_conn.recv()
+                    status, payload, det_elapsed = det_conn.recv()
                     if status == "ok":
                         det_findings = payload
                 except EOFError:
@@ -241,11 +261,24 @@ def analyze_paths(paths: list[Path] | list[str],
             if det_findings is None:
                 from .determinism import run_det
                 det_findings = run_det(contexts, config, index=index)
+                det_elapsed = time.perf_counter() - started
             found.extend(det_findings)
             report.det_ran = True
+            report.stage_stats["det"] = {"elapsed_s": det_elapsed}
+        if contract:
+            started = time.perf_counter()
+            from .contract import run_contract
+            ct_findings, payload = run_contract(contexts, config,
+                                                index=index)
+            found.extend(ct_findings)
+            report.contract_ran = True
+            report.contract_payload = payload
+            report.stage_stats["contract"] = {
+                "elapsed_s": time.perf_counter() - started}
         return found
 
     interproc: list[Finding] | None = None
+    scan_started = time.perf_counter()
     if workers > 1:
         chunk = max(1, len(payloads) // (workers * 4))
         try:
@@ -254,7 +287,7 @@ def analyze_paths(paths: list[Path] | list[str],
                                      chunksize=chunk)
                 # The pool grinds the per-module rules while the parent
                 # runs the project-wide passes; collect afterwards.
-                if taint or det:
+                if project:
                     interproc = project_passes()
                 results = list(scan_iter)
         except BrokenProcessPool:
@@ -264,7 +297,9 @@ def analyze_paths(paths: list[Path] | list[str],
             results = [_scan_worker(payload) for payload in payloads]
     else:
         results = [_scan_worker(payload) for payload in payloads]
-    if interproc is None and (taint or det):
+    report.stage_stats["lint"] = {
+        "elapsed_s": time.perf_counter() - scan_started}
+    if interproc is None and project:
         interproc = project_passes()
 
     raw_findings: list[Finding] = []
@@ -290,16 +325,19 @@ def analyze_paths(paths: list[Path] | list[str],
 def analyze_source(source: str, module: str = "snippet",
                    config: AnalysisConfig | None = None,
                    is_package: bool = False,
-                   taint: bool = False, det: bool = False) -> list[Finding]:
+                   taint: bool = False, det: bool = False,
+                   contract: bool = False) -> list[Finding]:
     """Run the rules over one in-memory snippet (test/fixture entry point)."""
     return analyze_sources({module: source}, config=config,
-                           is_package=is_package, taint=taint, det=det)
+                           is_package=is_package, taint=taint, det=det,
+                           contract=contract)
 
 
 def analyze_sources(sources: dict[str, str],
                     config: AnalysisConfig | None = None,
                     is_package: bool = False,
-                    taint: bool = False, det: bool = False) -> list[Finding]:
+                    taint: bool = False, det: bool = False,
+                    contract: bool = False) -> list[Finding]:
     """Run the rules over a set of in-memory modules ({module: source}).
 
     The multi-module form exists for taint fixtures: cross-module flows
@@ -331,6 +369,10 @@ def analyze_sources(sources: dict[str, str],
     if det:
         from .determinism import run_det
         findings.extend(run_det(contexts, config, index=index))
+    if contract:
+        from .contract import run_contract
+        ct_findings, _ = run_contract(contexts, config, index=index)
+        findings.extend(ct_findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 

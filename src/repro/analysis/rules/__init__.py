@@ -1,5 +1,5 @@
 """Rule modules; importing this package populates the registry."""
 
-from . import (boundaries, crypto_discipline, determinism,  # noqa: F401
-               observability, protocol_verify, robustness,
+from . import (boundaries, contract, crypto_discipline,  # noqa: F401
+               determinism, observability, protocol_verify, robustness,
                secret_flow_taint, secrets)

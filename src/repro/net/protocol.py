@@ -259,6 +259,11 @@ class TrustClient:
         if ack_delivered is None:
             return meter.outcome(False, "message-dropped",
                                  frame_hash=frame_hash)
+        try:
+            ack_delivered.require("domain", "account", "page", "mac")
+        except ProtocolError:
+            return meter.outcome(False, "malformed-reply",
+                                 frame_hash=frame_hash)
         return meter.outcome(True, "ok", frame_hash=frame_hash)
 
     # -------------------------------------------------- Fig. 10 login
@@ -338,6 +343,15 @@ class TrustClient:
             flock.close_session(domain)
             return meter.outcome(False, "bad-content-mac",
                                  frame_hash=frame_hash)
+        # Fail closed on a structurally short reply: every field the
+        # session state is about to be built from must be present.
+        try:
+            content_delivered.require("domain", "account", "session",
+                                      "nonce", "page", "mac")
+        except ProtocolError:
+            flock.close_session(domain)
+            return meter.outcome(False, "malformed-reply",
+                                 frame_hash=frame_hash)
         device.browser.render(content_delivered, flock)
 
         session = TrustSession(
@@ -411,6 +425,15 @@ class TrustClient:
                                         page_delivered.signed_bytes(),
                                         page_delivered.mac):
             return meter.outcome(False, "bad-content-mac")
+        try:
+            page_delivered.require("domain", "account", "session",
+                                   "nonce", "mac")
+            if page_delivered.msg_type == "challenge":
+                page_delivered.require("challenge_nonce")
+            else:
+                page_delivered.require("page")
+        except ProtocolError:
+            return meter.outcome(False, "malformed-reply")
         if page_delivered.msg_type == "challenge":
             # The server withheld content pending a fresh verified touch.
             session.next_nonce = page_delivered.fields["nonce"]
@@ -483,6 +506,11 @@ class TrustClient:
                                         page_delivered.signed_bytes(),
                                         page_delivered.mac):
             return meter.outcome(False, "bad-content-mac")
+        try:
+            page_delivered.require("domain", "account", "session",
+                                   "nonce", "page", "mac")
+        except ProtocolError:
+            return meter.outcome(False, "malformed-reply")
         device.browser.render(page_delivered, flock)
         session.next_nonce = page_delivered.fields["nonce"]
         session.challenge_nonce = None

@@ -373,6 +373,31 @@ class TestChangedOnly:
         assert code == 1
         assert "DT602" in capsys.readouterr().out
 
+    def test_dependents_of_changed_files_are_rescanned(self, fixture_repo,
+                                                       monkeypatch, capsys):
+        """Editing a module pulls its importers/callers into the scan:
+        clean.py has no edge to the edited file and stays filtered, but
+        caller.py -> callee.py -> (edit) makes both scan again, and the
+        dependency walk is transitive (outer.py -> caller.py)."""
+        (fixture_repo / "callee.py").write_text(
+            "def helper():\n    return 1\n")
+        (fixture_repo / "caller.py").write_text(
+            "from callee import helper\n\n\ndef use():\n"
+            "    return helper()\n")
+        (fixture_repo / "outer.py").write_text(
+            "import caller\n\n\ndef run():\n    return caller.use()\n")
+        _git(fixture_repo, "add", "-A")
+        _git(fixture_repo, "commit", "-qm", "add call chain")
+        (fixture_repo / "callee.py").write_text(
+            "import random\n\n\ndef helper():\n"
+            "    return random.random()\n")
+        monkeypatch.chdir(fixture_repo)
+        code = main([".", "--no-config", "--det", "--changed-only"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DT602" in out
+        assert "3 file(s)" in out  # callee + caller + outer, not clean.py
+
     def test_outside_git_is_a_usage_error(self, tmp_path, monkeypatch,
                                           capsys):
         (tmp_path / "mod.py").write_text("x = 1\n")

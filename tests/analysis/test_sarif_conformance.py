@@ -1,0 +1,183 @@
+"""SARIF 2.1.0 structural conformance across all five assurance stages.
+
+One parametrized test drives each stage — lint, taint, det, verify,
+contract — to a non-empty finding set through its real entry point, then
+asserts the rendered SARIF satisfies the structural subset code-scanning
+UIs rely on: schema/version header, a single run, a driver whose rule
+metadata covers every reported ``ruleId``, one-based regions on every
+location, stable ``partialFingerprints``, and well-formed ``codeFlows``
+when a stage attaches traces.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.engine import AnalysisReport, analyze_sources
+from repro.analysis.reporters import render_sarif
+
+LINT_FIXTURE = {
+    # CD201: stdlib ``random`` imported inside the crypto substrate.
+    "repro.crypto.fixture": """
+        import random
+
+        def jitter():
+            return random.random()
+    """,
+}
+
+TAINT_FIXTURE = {
+    # SF110: a secret flows through an alias into a print sink.
+    "repro.net.fixture": """
+        def leak(session_key):
+            alias = session_key
+            print(alias)
+    """,
+}
+
+DET_FIXTURE = {
+    # DT601: wall-clock read inside the runtime package.
+    "repro.runtime.fixture": """
+        import time
+
+        def stamp(event):
+            return (time.time(), event)
+    """,
+}
+
+CONTRACT_FIXTURE = {
+    "fix.codec": """
+        PROTOCOL_VERSION = 1
+        SUPPORTED_PROTOCOL_VERSIONS = frozenset({1})
+        MSG_PING = "ping"
+
+        class Envelope:
+            def __init__(self, msg_type, fields):
+                self.msg_type = msg_type
+                self.fields = dict(fields)
+
+            def set_mac(self, tag):
+                self.fields["mac"] = tag
+                return self
+
+            def require(self, *names):
+                return self
+    """,
+    "fix.server": """
+        from fix.codec import MSG_PING, Envelope
+
+        ENDPOINTS = {}
+
+        def _endpoint(registry, msg_type, summary):
+            def wrap(func):
+                registry[msg_type] = func.__name__
+                return func
+            return wrap
+
+        class Server:
+            @_endpoint(ENDPOINTS, MSG_PING, "answer one ping")
+            def _serve_ping(self, envelope):
+                envelope.require("blob", "mac")
+                return Envelope(MSG_PING, {"blob": b""}).set_mac(b"t")
+    """,
+    # No client module sends MSG_PING -> CT700.
+    "fix.client": """
+        def idle():
+            return None
+    """,
+}
+
+
+def _contract_config() -> AnalysisConfig:
+    return replace(
+        AnalysisConfig.default(),
+        contract_server_modules=("fix.server",),
+        contract_codec_modules=("fix.codec",),
+        contract_client_modules=("fix.client",),
+        contract_read_modules=("fix.client",),
+        contract_consumer_paths=(),
+        contract_golden="",
+    )
+
+
+def _fixture_report(sources, **passes) -> AnalysisReport:
+    sources = {m: textwrap.dedent(s) for m, s in sources.items()}
+    config = passes.pop("config", None)
+    findings = analyze_sources(sources, config=config, **passes)
+    return AnalysisReport(findings=findings)
+
+
+def _verify_report() -> AnalysisReport:
+    from repro.analysis.verify import run_verify
+    findings, stats = run_verify(depth=6, entries=("login",),
+                                 mutations=("skip-login-signature-check",))
+    return AnalysisReport(findings=findings, verify_stats=stats)
+
+
+STAGES = {
+    "lint": lambda: _fixture_report(LINT_FIXTURE),
+    "taint": lambda: _fixture_report(TAINT_FIXTURE, taint=True),
+    "det": lambda: _fixture_report(DET_FIXTURE, det=True),
+    "verify": _verify_report,
+    "contract": lambda: _fixture_report(CONTRACT_FIXTURE, contract=True,
+                                        config=_contract_config()),
+}
+
+EXPECTED_RULE_PREFIX = {"lint": "CD", "taint": "SF", "det": "DT",
+                        "verify": "PV", "contract": "CT"}
+
+
+@pytest.mark.parametrize("stage", sorted(STAGES))
+def test_sarif_is_structurally_conformant(stage):
+    report = STAGES[stage]()
+    assert report.findings, f"{stage} fixture produced no findings"
+    assert any(f.rule.startswith(EXPECTED_RULE_PREFIX[stage])
+               for f in report.findings)
+
+    sarif = json.loads(render_sarif(report))
+    assert sarif["version"] == "2.1.0"
+    assert sarif["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert len(sarif["runs"]) == 1
+
+    run = sarif["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_index = {rule["id"]: rule for rule in driver["rules"]}
+    assert all("shortDescription" in rule for rule in driver["rules"])
+
+    assert run["results"], "a non-empty report must render results"
+    for result in run["results"]:
+        assert result["ruleId"] in rule_index
+        assert result["level"] in ("error", "warning", "note")
+        assert result["message"]["text"]
+        assert len(result["locations"]) >= 1
+        for location in result["locations"]:
+            region = location["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            assert location["physicalLocation"]["artifactLocation"]["uri"]
+        fingerprint = result["partialFingerprints"]["trustLint/v1"]
+        assert len(fingerprint) == 16
+        for flow in result.get("codeFlows", ()):
+            locations = flow["threadFlows"][0]["locations"]
+            assert locations
+            for hop in locations:
+                hop_region = hop["location"]["physicalLocation"]["region"]
+                assert hop_region["startLine"] >= 1
+
+
+def test_verify_stats_land_in_run_properties():
+    report = _verify_report()
+    run = json.loads(render_sarif(report))["runs"][0]
+    assert run["properties"]["verify"]
+
+
+def test_rendering_is_deterministic():
+    report = _fixture_report(CONTRACT_FIXTURE, contract=True,
+                             config=_contract_config())
+    assert render_sarif(report) == render_sarif(report)
