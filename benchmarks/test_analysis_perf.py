@@ -5,7 +5,7 @@ so it runs on every merge; this smoke check keeps it from quietly
 degrading into something nobody wants to run.  Budgets: 10 s for the
 per-module scan over ``src/``, 5 s for the interprocedural taint pass
 on top of it, and 8 s total for the combined lint + taint + det +
-contract run (the exact command the CI jobs execute).  The parallel row
+contract + sc run (the exact command the CI jobs execute).  The parallel row
 compares the process-pool scan against a forced-sequential run and
 asserts they agree finding-for-finding.
 """
@@ -16,6 +16,7 @@ import time
 from pathlib import Path
 
 from repro.analysis import analyze_paths
+from repro.analysis.config import AnalysisConfig
 
 from .conftest import emit
 
@@ -24,10 +25,14 @@ BUDGET_SECONDS = 10.0
 TAINT_BUDGET_SECONDS = 5.0
 COMBINED_BUDGET_SECONDS = 8.0
 
+#: The repo's own policy (pyproject [tool.trust-lint]) — what the CI
+#: jobs actually run with; the sc declassification model lives there.
+CONFIG = AnalysisConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+
 
 def _timed(**kwargs):
     start = time.perf_counter()
-    report = analyze_paths([REPO_ROOT / "src"], **kwargs)
+    report = analyze_paths([REPO_ROOT / "src"], CONFIG, **kwargs)
     return report, time.perf_counter() - start
 
 
@@ -37,7 +42,9 @@ def test_full_tree_pass_under_budget():
     report_taint, elapsed_taint = _timed(taint=True)
     report_det, elapsed_det = _timed(det=True)
     report_ct, elapsed_ct = _timed(contract=True)
-    report_all, elapsed_all = _timed(taint=True, det=True, contract=True)
+    report_sc, elapsed_sc = _timed(sc=True)
+    report_all, elapsed_all = _timed(taint=True, det=True, contract=True,
+                                     sc=True)
 
     per_file = elapsed / max(report.files_scanned, 1)
     emit(
@@ -58,7 +65,10 @@ def test_full_tree_pass_under_budget():
         f"  scan + contract    : {elapsed_ct * 1000:.1f} ms"
         f"  ({len(report_ct.findings)} finding(s), "
         f"{len(report_ct.findings) - len(report.findings)} from contract)\n"
-        f"  five-stage run     : {elapsed_all * 1000:.1f} ms"
+        f"  scan + sc pass     : {elapsed_sc * 1000:.1f} ms"
+        f"  ({len(report_sc.findings)} finding(s), "
+        f"{len(report_sc.findings) - len(report.findings)} from sc)\n"
+        f"  six-stage run      : {elapsed_all * 1000:.1f} ms"
         f"  ({len(report_all.findings)} finding(s))\n"
         f"  budgets            : scan {BUDGET_SECONDS:.0f} s, "
         f"with taint +{TAINT_BUDGET_SECONDS:.0f} s, "
@@ -68,11 +78,12 @@ def test_full_tree_pass_under_budget():
     assert report.parse_errors == []
     assert report_det.det_ran and report_all.det_ran and report_all.taint_ran
     assert report_ct.contract_ran and report_all.contract_ran
+    assert report_sc.sc_ran and report_all.sc_ran
     # The contract pass records the canonical payload and per-stage
     # clocks on the report (the ``--stats`` surface).
     assert report_all.contract_payload is not None
     assert report_all.contract_payload["endpoints"]
-    for stage in ("lint", "taint", "det", "contract"):
+    for stage in ("lint", "taint", "det", "contract", "sc"):
         assert report_all.stage_stats[stage]["elapsed_s"] >= 0.0
     assert elapsed < BUDGET_SECONDS, (
         f"analysis pass took {elapsed:.1f}s (> {BUDGET_SECONDS}s budget)")
@@ -80,7 +91,7 @@ def test_full_tree_pass_under_budget():
         f"taint pass took {elapsed_taint:.1f}s "
         f"(> {BUDGET_SECONDS + TAINT_BUDGET_SECONDS}s budget)")
     assert elapsed_all < COMBINED_BUDGET_SECONDS, (
-        f"five-stage lint+taint+det+contract pass took {elapsed_all:.1f}s "
+        f"six-stage lint+taint+det+contract+sc pass took {elapsed_all:.1f}s "
         f"(> {COMBINED_BUDGET_SECONDS}s budget)")
     # Parallel and sequential scans must agree exactly (determinism).
     assert ([f.fingerprint() for f in report.findings]

@@ -28,21 +28,28 @@ SF110     interprocedural secret flow: an aliased/derived secret value
           reaches an observable sink, with the full source-to-sink trace
 SF111     trust boundary dataflow: a secret crosses from the trusted
           FLock layer into untrusted code without an approved wrapper
-CD210     interprocedural crypto discipline: ``==``/``!=`` on a value
-          derived from key material, even through calls and aliases
+SC800-805 constant-time discipline: no secret-dependent branches, loop
+          bounds, lookups, variable-time bigint ops, length-sized
+          allocations or ``==`` compares on the remote-observable path
+          (SC805 retires the old CD210 compare rule)
 ========  ===================================================================
 
-SF110/SF111/CD210 come from the opt-in interprocedural taint pass
+SF110/SF111 come from the opt-in interprocedural taint pass
 (``repro.analysis.taint``): a project-wide symbol table and call graph,
 per-function taint summaries iterated to a fixed point, and findings
 that carry every hop from source to sink.  Enable it with ``--taint``
 (tune it via the ``[tool.trust-lint.taint]`` sub-table); ``repro-lint
-graph`` dumps the call graph the pass resolves.
+graph`` dumps the call graph the pass resolves.  SC800–SC805 come from
+the side-channel pass (``repro.analysis.sidechannel``, ``--sc``), which
+re-reads the same lattice as timing taint and pairs with a dynamic
+branch-trace witness (``python -m repro.analysis.sidechannel``).
 
-The package is self-contained (stdlib only; it may not import any other
-``repro`` package) and runs as ``python -m repro.analysis <paths>`` or via
-the ``repro-lint`` console script.  Findings can be suppressed inline with
-``# trust-lint: disable=RULE`` comments or grandfathered in a baseline file.
+The package is self-contained (stdlib only; its single domain edge is
+the side-channel witness executing ``repro.crypto`` under trace) and
+runs as ``python -m repro.analysis <paths>`` or via the ``repro-lint``
+console script.  Findings can be suppressed inline with
+``# trust-lint: disable=RULE -- reason`` comments or grandfathered in a
+baseline file.
 """
 
 from .baseline import (apply_baseline, load_baseline, update_baseline,

@@ -3,9 +3,11 @@
 Exit codes: 0 clean, 1 findings (or parse errors), 2 usage/config error.
 
 Besides the per-module scan, ``--taint`` runs the interprocedural
-secret-flow pass (SF110/SF111/CD210), ``--det`` runs the determinism &
+secret-flow pass (SF110/SF111), ``--det`` runs the determinism &
 shard-isolation pass (DT6xx/RC61x), ``--contract`` runs the
-wire-contract conformance pass (CT7xx), ``repro-lint graph`` dumps the
+wire-contract conformance pass (CT7xx), ``--sc`` runs the
+constant-time / side-channel pass (SC800-SC805),
+``repro-lint graph`` dumps the
 call graph those passes share, for auditing how a trace was resolved,
 ``repro-lint contract`` emits the extracted wire contract as canonical
 JSON, and ``repro-lint verify`` model-checks the TRUST protocol state
@@ -44,13 +46,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report format (default: text)")
     parser.add_argument("--taint", action="store_true",
                         help="also run the interprocedural secret-flow "
-                        "pass (SF110/SF111/CD210, with full traces)")
+                        "pass (SF110/SF111, with full traces)")
     parser.add_argument("--det", action="store_true",
                         help="also run the determinism & shard-isolation "
                         "pass (DT6xx/RC61x, with full traces)")
     parser.add_argument("--contract", action="store_true",
                         help="also run the wire-contract conformance "
                         "pass (CT700-CT705)")
+    parser.add_argument("--sc", action="store_true",
+                        help="also run the constant-time / side-channel "
+                        "pass (SC800-SC805, with full traces)")
     parser.add_argument("--stats", action="store_true",
                         help="print a per-stage timing and finding-count "
                         "breakdown to stderr after the report")
@@ -177,7 +182,7 @@ def _expand_dependents(scan_files: list[Path],
 
 
 #: Project-pass rule ids that per-module prefix matching would misfile.
-_TAINT_RULES = frozenset({"SF110", "SF111", "CD210"})
+_TAINT_RULES = frozenset({"SF110", "SF111"})
 
 
 def _finding_stage(rule_id: str) -> str:
@@ -190,6 +195,8 @@ def _finding_stage(rule_id: str) -> str:
         return "contract"
     if rule_id.startswith("PV"):
         return "verify"
+    if rule_id.startswith("SC"):
+        return "sc"
     return "lint"
 
 
@@ -201,6 +208,7 @@ def _print_stats(report, total_s: float) -> str:
     stages += ["taint"] if report.taint_ran else []
     stages += ["det"] if report.det_ran else []
     stages += ["contract"] if report.contract_ran else []
+    stages += ["sc"] if report.sc_ran else []
     cells = []
     for stage in stages:
         elapsed = report.stage_stats.get(stage, {}).get("elapsed_s", 0.0)
@@ -477,7 +485,8 @@ def main(argv: list[str] | None = None) -> int:
     run_started = time.perf_counter()
     report = analyze_paths(scan_paths, config, baseline=baseline,
                            taint=args.taint, det=args.det,
-                           contract=args.contract, jobs=args.jobs)
+                           contract=args.contract, sc=args.sc,
+                           jobs=args.jobs)
     run_elapsed = time.perf_counter() - run_started
 
     if args.update_baseline:

@@ -27,7 +27,10 @@ __all__ = ["AnalysisConfig", "LAYERING", "find_pyproject"]
 LAYERING: dict[str, frozenset[str]] = {
     # Trusted substrate — strictly self-contained.
     "repro.crypto": frozenset(),
-    "repro.analysis": frozenset(),
+    # Host tooling, outside the runtime DAG.  The one domain edge is the
+    # side-channel witness (analysis.sidechannel.witness), which must
+    # *execute* the crypto under test to record its branch traces.
+    "repro.analysis": frozenset({"repro.crypto"}),
     # Observability substrate: spans + metrics only, no domain imports.
     # Every layer may *emit* through it, so it must sit at the very bottom
     # of the DAG and never learn about the layers it observes.
@@ -180,7 +183,7 @@ class AnalysisConfig:
     )
 
     #: Callable-name patterns whose results demand constant-time equality
-    #: (CD210): MAC/digest/signature producers.  They are *confidentiality*
+    #: (SC805): MAC/digest/signature producers.  They are *confidentiality*
     #: sanitizers (a MAC tag may be shown to the network) but comparing one
     #: with ``==`` leaks the comparison prefix through timing.
     ctime_producer_patterns: tuple[str, ...] = (
@@ -291,6 +294,54 @@ class AnalysisConfig:
     #: sites define produced message schemas.
     contract_envelope_names: tuple[str, ...] = ("Envelope",)
 
+    # --------------------------------------------------- side channel (SC)
+    #: Module prefixes the side-channel pass polices: the four packages
+    #: that handle long-lived secret material on the remote path.  Code
+    #: outside them is still indexed (summaries resolve across the whole
+    #: tree) but never reported on.
+    sc_modules: tuple[str, ...] = (
+        "repro.crypto", "repro.flock", "repro.fingerprint", "repro.net",
+    )
+
+    #: Callable/class-name patterns that *declassify* timing taint: the
+    #: one constant-time comparator, one-way MAC/hash/sign producers
+    #: (post-MAC outputs are public by protocol, and their internals are
+    #: data-oblivious bit mixing), and taint-free observers.  Functions
+    #: and classes matching these are also exempt from the walk — their
+    #: bodies are the audited implementations of the discipline itself.
+    sc_declassifiers: tuple[str, ...] = (
+        "constant_time_equal",
+        "hmac*", "hkdf*", "sha256*", "sha1*", "md5*", "*hash*", "*digest",
+        "hexdigest", "encrypt*", "*_encrypt", "decrypt_*", "seal*", "sign*",
+        "verify*", "attest*", "mac", "*_mac", "compare_*",
+        "bool", "type", "id", "isinstance", "hasattr", "range",
+        "bit_length", "*length*", "default_rng",
+    )
+
+    #: Extra identifier patterns (beyond :attr:`secret_patterns`) that
+    #: seed *timing* taint in the side-channel pass only.
+    sc_secret_patterns: tuple[str, ...] = ()
+
+    #: Patterns that override secret seeding in the side-channel pass
+    #: only: values derived from secrets whose exposure the protocol
+    #: already accepts (the RSA public modulus/exponent attributes, the
+    #: matcher's decision outputs).
+    sc_public_patterns: tuple[str, ...] = (
+        "n", "e", "modulus", "byte_length",
+    )
+
+    #: Function qualnames forming the audited variable-time bigint
+    #: boundary: the only place SC suppressions are allowed to live
+    #: (each reason-coded) — CPython's ``pow``/``%``/``//`` on bigints
+    #: are value-dependent below the reach of any Python-level analysis,
+    #: so the branch-trace witness pins their Python-level behaviour
+    #: instead.
+    sc_modpow_boundary: tuple[str, ...] = (
+        "repro.crypto.rsa.RsaPrivateKey._private_op",
+        "repro.crypto.rsa._modinv",
+        "repro.crypto.rsa._egcd",
+    )
+
     # ------------------------------------------------- protocol verification
     #: BFS depth budget for ``repro-lint verify`` (transitions per trace).
     verify_depth: int = 12
@@ -356,7 +407,7 @@ class AnalysisConfig:
         return _match(name.lower(), self.taint_sanitizers)
 
     def is_ctime_producer_name(self, name: str) -> bool:
-        """Does a call to ``name`` yield timing-sensitive bytes (CD210)?"""
+        """Does a call to ``name`` yield timing-sensitive bytes (SC805)?"""
         low = name.lower()
         if _match(low, self.bytes_public_patterns):
             return False
@@ -402,6 +453,33 @@ class AnalysisConfig:
         """Is ``name`` an approved cross-shard transfer conduit?"""
         return name in self.det_conduits
 
+    # ------------------------------------------------ side-channel matching
+    def in_sc_module(self, module: str) -> bool:
+        """Is ``module`` inside the side-channel pass's scope?"""
+        return any(module == pkg or module.startswith(pkg + ".")
+                   for pkg in self.sc_modules)
+
+    def is_sc_secret_name(self, name: str) -> bool:
+        """Does ``name`` seed timing taint in the side-channel pass?"""
+        low = name.lower()
+        if (_match(low, self.public_patterns)
+                or _match(low, self.sc_public_patterns)):
+            return False
+        return (_match(low, self.secret_patterns)
+                or _match(low, self.sc_secret_patterns))
+
+    def is_sc_public_name(self, name: str) -> bool:
+        """Is ``name`` public-by-protocol for timing purposes only?"""
+        return _match(name.lower(), self.sc_public_patterns)
+
+    def is_sc_declassifier_name(self, name: str) -> bool:
+        """Does a call to ``name`` declassify timing taint?"""
+        return _match(name.lower(), self.sc_declassifiers)
+
+    def in_sc_modpow_boundary(self, qualname: str) -> bool:
+        """Is ``qualname`` inside the audited variable-time boundary?"""
+        return qualname in self.sc_modpow_boundary
+
     # --------------------------------------------------- contract matching
     def in_contract_server_module(self, module: str) -> bool:
         """Does ``module`` hold the server side of the wire protocol?"""
@@ -445,8 +523,11 @@ class AnalysisConfig:
         ``extend-conduits``, and a ``contract`` sub-table with
         ``server-modules`` / ``codec-modules`` / ``client-modules`` /
         ``read-modules`` / ``consumer-paths`` / ``golden`` /
-        ``decode-patterns`` / ``envelope-names``.  Unknown keys are
-        rejected so typos fail loudly.
+        ``decode-patterns`` / ``envelope-names``, and an ``sc``
+        sub-table with ``modules`` / ``extend-declassifiers`` /
+        ``extend-secret-patterns`` / ``extend-public-patterns`` /
+        ``modpow-boundary``.  Unknown keys are rejected so typos fail
+        loudly.
         """
         import tomllib
 
@@ -459,7 +540,7 @@ class AnalysisConfig:
         """Apply a ``[tool.trust-lint]``-shaped dict of overrides."""
         known = {"paths", "disable", "baseline", "extend-secret-patterns",
                  "extend-public-patterns", "taint", "verify", "det",
-                 "contract"}
+                 "contract", "sc"}
         unknown = set(section) - known
         if unknown:
             raise ValueError(
@@ -497,7 +578,30 @@ class AnalysisConfig:
             raise ValueError(
                 f"unknown [tool.trust-lint.contract] options: "
                 f"{sorted(contract_unknown)}")
+        sc = section.get("sc", {})
+        sc_known = {"modules", "extend-declassifiers",
+                    "extend-secret-patterns", "extend-public-patterns",
+                    "modpow-boundary"}
+        sc_unknown = set(sc) - sc_known
+        if sc_unknown:
+            raise ValueError(
+                f"unknown [tool.trust-lint.sc] options: "
+                f"{sorted(sc_unknown)}")
         updates = {}
+        if "modules" in sc:
+            updates["sc_modules"] = tuple(str(m) for m in sc["modules"])
+        if "extend-declassifiers" in sc:
+            updates["sc_declassifiers"] = self.sc_declassifiers + \
+                _lower_tuple(sc["extend-declassifiers"])
+        if "extend-secret-patterns" in sc:
+            updates["sc_secret_patterns"] = self.sc_secret_patterns + \
+                _lower_tuple(sc["extend-secret-patterns"])
+        if "extend-public-patterns" in sc:
+            updates["sc_public_patterns"] = self.sc_public_patterns + \
+                _lower_tuple(sc["extend-public-patterns"])
+        if "modpow-boundary" in sc:
+            updates["sc_modpow_boundary"] = tuple(
+                str(q) for q in sc["modpow-boundary"])
         if "server-modules" in contract:
             updates["contract_server_modules"] = tuple(
                 str(m) for m in contract["server-modules"])

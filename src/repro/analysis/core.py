@@ -28,10 +28,13 @@ __all__ = [
 
 #: ``# trust-lint: disable=CD201,RB301`` (line scope) or
 #: ``# trust-lint: disable-file=CD201`` (whole module).  A bare ``disable``
-#: with no rule list silences every rule for that line.
+#: with no rule list silences every rule for that line.  An optional
+#: ``-- reason`` tail documents *why* (``disable=SC803 -- CPython bigint
+#: internals``); the reason is recorded so audits can require one.
 _DIRECTIVE_RE = re.compile(
     r"#\s*trust-lint:\s*(?P<scope>disable-file|disable)"
-    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_*,\s-]+))?")
+    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_*-]+(?:\s*,\s*[A-Za-z0-9_*-]+)*))?"
+    r"(?:\s*--\s*(?P<reason>\S.*?)\s*$)?")
 
 
 @dataclass(frozen=True)
@@ -51,7 +54,7 @@ class TraceHop:
 class Finding:
     """One rule violation at one source location.
 
-    Dataflow rules (SF110/SF111/CD210) attach the full source-to-sink
+    Dataflow rules (SF110/SF111, SC800–SC805) attach the full source-to-sink
     ``trace``; purely syntactic rules leave it empty.  The trace never
     enters the fingerprint, so baselines survive trace refinements.
     """
@@ -92,6 +95,8 @@ class ModuleContext:
     line_suppressions: dict[int, set[str] | None] = field(default_factory=dict)
     #: rule ids suppressed for the whole file (``None`` = all rules).
     file_suppressions: set[str] | None = field(default_factory=set)
+    #: line number -> the ``-- reason`` text of its directive, when given.
+    suppression_reasons: dict[int, str] = field(default_factory=dict)
 
     @classmethod
     def build(cls, path: Path, display_path: str, module: str,
@@ -131,6 +136,7 @@ class ModuleContext:
                 rules = None  # all rules
             else:
                 rules = {r.strip() for r in rules_text.split(",") if r.strip()}
+            reason = match.group("reason")
             if match.group("scope") == "disable-file":
                 if rules is None or self.file_suppressions is None:
                     self.file_suppressions = None
@@ -142,6 +148,8 @@ class ModuleContext:
                     self.line_suppressions[token.start[0]] = None
                 else:
                     self.line_suppressions[token.start[0]] = existing | rules
+                if reason:
+                    self.suppression_reasons[token.start[0]] = reason
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         """Is ``rule_id`` suppressed at ``line`` (or file-wide)?"""

@@ -146,9 +146,6 @@ class OrderFlowAnalysis(TaintAnalysis):
                 "output depends on PYTHONHASHSEED; sort before emitting "
                 "(see trace)", trace, st)
 
-    def _emit_cd210(self, module, line, col, origin, trace, st):
-        return  # timing taint never seeds in this pass
-
     def _emit(self, rule_id, module, line, col, message, trace, st):
         if not st.report or not self._det_config.rule_enabled(rule_id):
             return

@@ -10,12 +10,13 @@ Per-module scanning is embarrassingly parallel, so ``analyze_paths``
 fans files out over a :class:`~concurrent.futures.ProcessPoolExecutor`
 when the file count justifies the fork cost; results are collected in
 submission order and globally sorted, so the output is byte-identical to
-a sequential run.  The project-wide passes (taint, determinism) need
-every module's AST at once and are not parallelisable per file, but
-they are independent of the per-module scan *and* of each other: on a
-big tree the determinism pass runs in a forked child that shares the
-parsed contexts copy-on-write, the taint pass runs in the parent, and
-the scan pool grinds alongside both.
+a sequential run.  The project-wide passes (taint, determinism,
+side-channel) need every module's AST at once and are not parallelisable
+per file, but they are independent of the per-module scan *and* of each
+other: on a big tree the determinism and side-channel passes each run in
+a forked child that shares the parsed contexts copy-on-write, the taint
+and contract passes run in the parent, and the scan pool grinds
+alongside all of them.
 """
 
 from __future__ import annotations
@@ -52,6 +53,7 @@ class AnalysisReport:
     taint_ran: bool = False
     det_ran: bool = False
     contract_ran: bool = False
+    sc_ran: bool = False
     #: Canonical wire-contract payload when the contract pass ran; the
     #: same dict ``repro-lint contract`` serialises as ``contract.json``.
     contract_payload: dict | None = None
@@ -168,6 +170,20 @@ def _det_worker(conn, contexts: list[ModuleContext],
         conn.close()
 
 
+def _sc_worker(conn, contexts: list[ModuleContext],
+               config: AnalysisConfig) -> None:
+    """Forked child: run the side-channel pass, ship findings back."""
+    from .sidechannel import run_sc
+    try:
+        started = time.perf_counter()
+        findings = run_sc(contexts, config)
+        conn.send(("ok", findings, time.perf_counter() - started))
+    except BaseException as exc:  # trust-lint: disable=RB301
+        conn.send(("error", f"{type(exc).__name__}: {exc}", 0.0))
+    finally:
+        conn.close()
+
+
 def _effective_jobs(jobs: int | None, file_count: int) -> int:
     if jobs is not None:
         return max(1, jobs)
@@ -195,15 +211,16 @@ def analyze_paths(paths: list[Path] | list[str],
                   config: AnalysisConfig | None = None,
                   baseline: dict[str, int] | None = None,
                   *, taint: bool = False, det: bool = False,
-                  contract: bool = False,
+                  contract: bool = False, sc: bool = False,
                   jobs: int | None = None) -> AnalysisReport:
     """Run every enabled rule over the Python files under ``paths``.
 
     ``taint=True`` additionally runs the interprocedural secret-flow
-    pass (SF110/SF111/CD210) over the whole file set; ``det=True`` runs
+    pass (SF110/SF111) over the whole file set; ``det=True`` runs
     the determinism & shard-isolation pass (DT6xx/RC61x);
     ``contract=True`` runs the wire-contract conformance pass (CT7xx)
-    and records the canonical payload on the report.  The project passes
+    and records the canonical payload on the report; ``sc=True`` runs
+    the constant-time / side-channel pass (SC8xx).  The project passes
     share one symbol table.  ``jobs`` forces a worker count for the
     per-file scan (default: automatic — sequential for small trees, up
     to 8 processes for large ones).
@@ -213,25 +230,40 @@ def analyze_paths(paths: list[Path] | list[str],
     file_paths = iter_python_files([Path(p) for p in paths])
     payloads = [(str(p), _display_path(p), config) for p in file_paths]
     workers = _effective_jobs(jobs, len(file_paths))
-    project = taint or det or contract
+    project = taint or det or contract or sc
 
     contexts: list[ModuleContext] = []
     if project:
         contexts, _ = build_contexts(file_paths)  # errors already reported
 
-    # Both project passes on a big tree: fork the determinism pass off
-    # first (before any pool exists), so it overlaps the parent's taint
-    # run and the per-module scan.  Small trees stay single-process.
+    # Multiple project passes on a big tree: fork the determinism and
+    # side-channel passes off first (before any pool exists), so they
+    # overlap the parent's taint run and the per-module scan.  Small
+    # trees stay single-process, and so do single-core hosts — each
+    # child rebuilds the symbol index, which only pays for itself when
+    # the passes genuinely run concurrently.
+    can_fork = (taint and len(file_paths) >= _PARALLEL_THRESHOLD
+                and (os.cpu_count() or 1) >= 2
+                and "fork" in multiprocessing.get_all_start_methods())
     det_proc = None
     det_conn = None
-    if (taint and det and len(file_paths) >= _PARALLEL_THRESHOLD
-            and "fork" in multiprocessing.get_all_start_methods()):
+    sc_proc = None
+    sc_conn = None
+    if can_fork and det:
         mp = multiprocessing.get_context("fork")
         det_conn, child_conn = mp.Pipe(duplex=False)
         det_proc = mp.Process(target=_det_worker,
                               args=(child_conn, contexts, config),
                               daemon=True)
         det_proc.start()
+        child_conn.close()
+    if can_fork and sc:
+        mp = multiprocessing.get_context("fork")
+        sc_conn, child_conn = mp.Pipe(duplex=False)
+        sc_proc = mp.Process(target=_sc_worker,
+                             args=(child_conn, contexts, config),
+                             daemon=True)
+        sc_proc.start()
         child_conn.close()
 
     def project_passes() -> list[Finding]:
@@ -275,6 +307,25 @@ def analyze_paths(paths: list[Path] | list[str],
             report.contract_payload = payload
             report.stage_stats["contract"] = {
                 "elapsed_s": time.perf_counter() - started}
+        if sc:
+            started = time.perf_counter()
+            sc_findings: list[Finding] | None = None
+            sc_elapsed = 0.0
+            if sc_proc is not None:
+                try:
+                    status, payload, sc_elapsed = sc_conn.recv()
+                    if status == "ok":
+                        sc_findings = payload
+                except EOFError:
+                    sc_findings = None  # child died: re-run inline
+                sc_proc.join()
+            if sc_findings is None:
+                from .sidechannel import run_sc
+                sc_findings = run_sc(contexts, config, index=index)
+                sc_elapsed = time.perf_counter() - started
+            found.extend(sc_findings)
+            report.sc_ran = True
+            report.stage_stats["sc"] = {"elapsed_s": sc_elapsed}
         return found
 
     interproc: list[Finding] | None = None
@@ -326,18 +377,18 @@ def analyze_source(source: str, module: str = "snippet",
                    config: AnalysisConfig | None = None,
                    is_package: bool = False,
                    taint: bool = False, det: bool = False,
-                   contract: bool = False) -> list[Finding]:
+                   contract: bool = False, sc: bool = False) -> list[Finding]:
     """Run the rules over one in-memory snippet (test/fixture entry point)."""
     return analyze_sources({module: source}, config=config,
                            is_package=is_package, taint=taint, det=det,
-                           contract=contract)
+                           contract=contract, sc=sc)
 
 
 def analyze_sources(sources: dict[str, str],
                     config: AnalysisConfig | None = None,
                     is_package: bool = False,
                     taint: bool = False, det: bool = False,
-                    contract: bool = False) -> list[Finding]:
+                    contract: bool = False, sc: bool = False) -> list[Finding]:
     """Run the rules over a set of in-memory modules ({module: source}).
 
     The multi-module form exists for taint fixtures: cross-module flows
@@ -373,6 +424,9 @@ def analyze_sources(sources: dict[str, str],
         from .contract import run_contract
         ct_findings, _ = run_contract(contexts, config, index=index)
         findings.extend(ct_findings)
+    if sc:
+        from .sidechannel import run_sc
+        findings.extend(run_sc(contexts, config, index=index))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 

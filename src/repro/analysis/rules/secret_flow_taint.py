@@ -1,4 +1,4 @@
-"""SF110/SF111/CD210 — project-wide secret-flow dataflow rules.
+"""SF110/SF111 — project-wide secret-flow dataflow rules.
 
 These rules are :class:`~repro.analysis.core.ProjectRule` subclasses:
 registering them here gives them ids, ``--list-rules`` entries, config
@@ -20,19 +20,21 @@ SF111
     (device template, session keys, private keys) may only leave it as
     HMAC tags, hashes, ciphertext or signatures.  SF111 fires where an
     untrusted frame receives a raw secret straight from a boundary call.
-CD210
-    Every comparison over data derived from key material must be
-    constant-time.  CD202 is local and name-based; CD210 follows the
-    derivation interprocedurally (a MAC tag computed three calls away
-    and compared with ``==`` still fires).
+
+CD210 (retired)
+    The derived non-constant-time-compare rule this module used to
+    register is subsumed by SC805 in the side-channel stage
+    (:mod:`repro.analysis.rules.sidechannel`), which follows the same
+    MAC/digest lattice interprocedurally across all six SC sinks.
+    Stale CD210 baseline entries simply never match; rewrite them with
+    ``--update-baseline`` (without ``--merge``) at the next refresh.
 """
 
 from __future__ import annotations
 
 from ..core import ProjectRule, register
 
-__all__ = ["AliasedSecretSink", "BoundarySecretExport",
-           "DerivedNonConstantTimeCompare"]
+__all__ = ["AliasedSecretSink", "BoundarySecretExport"]
 
 
 @register
@@ -51,12 +53,3 @@ class BoundarySecretExport(ProjectRule):
     summary = ("a raw secret crosses from the trusted FLock boundary into "
                "an untrusted layer without an approved wrapper "
                "(HMAC/hash/ciphertext/signature)")
-
-
-@register
-class DerivedNonConstantTimeCompare(ProjectRule):
-    id = "CD210"
-    name = "derived-non-constant-time-compare"
-    summary = ("an ==/!= comparison over a value taint-derived from key "
-               "material (MAC tags, digests, key bytes) — interprocedural "
-               "companion to CD202")

@@ -1,0 +1,32 @@
+"""CI smoke entry point: ``python -m repro.analysis.sidechannel``.
+
+Runs every branch-trace witness case (:mod:`.witness`) and exits
+nonzero if any constant-time primitive's traces diverge across the
+crafted secret-input pair.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .witness import run_witness, trace_backend
+
+
+def main(argv: list[str] | None = None) -> int:
+    print(f"sc-witness: recording via {trace_backend()}")
+    failed = 0
+    for result in run_witness():
+        if result.equal:
+            print(f"PASS {result.name}: {result.events_a} control-flow "
+                  "events, traces byte-identical")
+        else:
+            failed += 1
+            print(f"FAIL {result.name}: traces diverge at event "
+                  f"{result.divergence_index} "
+                  f"({result.diverged_a!r} != {result.diverged_b!r}; "
+                  f"{result.events_a} vs {result.events_b} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

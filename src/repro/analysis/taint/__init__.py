@@ -19,8 +19,9 @@ Pipeline (all stdlib, all AST-level):
    the return value carries secret taint) and iterates them to a fixed
    point over the call graph.
 3. A final reporting pass walks every function with the stable
-   summaries and emits findings for SF110 / SF111 / CD210, each with a
-   full source-to-sink trace (:class:`repro.analysis.core.TraceHop`).
+   summaries and emits findings for SF110 / SF111, each with a full
+   source-to-sink trace (:class:`repro.analysis.core.TraceHop`); the
+   side-channel pass subclasses the same walker to report SC800–SC805.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Fixed-point interprocedural taint propagation + SF110/SF111/CD210.
+"""Fixed-point interprocedural taint propagation + SF110/SF111.
 
 The analysis runs in two phases over the :class:`ProjectIndex`:
 
@@ -26,8 +26,10 @@ patterns *is* a source, wherever it happens.  Two taint classes flow:
 - ``secret`` — confidentiality (SF110: reaches an observable sink in
   untrusted code; SF111: materialises in an untrusted frame straight
   from a trusted-layer call without an approved wrapper);
-- ``ctime`` — timing sensitivity (CD210: reaches an ``==``/``!=``
-  anywhere), seeded from key-material names and MAC/digest producers.
+- ``ctime`` — timing sensitivity, seeded from key-material names and
+  MAC/digest producers.  This pass only *propagates* it; the reporting
+  moved to the side-channel stage (SC805, which retired the old local
+  CD210 rule) so subclasses reinterpret one shared lattice.
 
 Sanitizers (HMAC, hashes, ciphertext, signatures, ``len``...) stop
 ``secret`` taint; MAC/digest producers *start* ``ctime`` taint even
@@ -131,8 +133,7 @@ class TaintAnalysis:
             # Comparing slot-key sets, not byte-string key material.
             grown_slots = [
                 slot for slot, taint in self.attr_taint.items()
-                if frozenset(taint)  # trust-lint: disable=CD210
-                != attr_before.get(slot, frozenset())]
+                if frozenset(taint) != attr_before.get(slot, frozenset())]
             callers: dict[str, set[str]] = {}
             for caller, callees in self.call_edges.items():
                 for callee in callees:
@@ -547,18 +548,10 @@ class TaintAnalysis:
         return taint
 
     def _eval_compare(self, node: ast.Compare, st: _WalkState) -> Taint:
-        operands = [node.left, *node.comparators]
-        taints = [self._eval(op, st) for op in operands]
-        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
-            return {}
-        if any(isinstance(op, ast.Constant) for op in operands):
-            return {}  # ``result == 0`` style guards (CD202 parity)
-        for operand in operands:
-            name = terminal_name(operand)
-            if name is not None and self.config.is_secret_bytes_name(name):
-                return {}  # direct secret-bytes name: CD202's territory
-        self._sink_hit(merge(*taints), "compare", "==/!= comparison",
-                       node, st)
+        # A comparison's boolean result is public in the secrecy lattice;
+        # the side-channel subclass overrides this with timing semantics.
+        for operand in (node.left, *node.comparators):
+            self._eval(operand, st)
         return {}
 
     # --------------------------------------------------------------- calls
@@ -816,9 +809,6 @@ class TaintAnalysis:
                 if record.kind == "sink" and token.cls == SECRECY:
                     self._emit_sf110(record.module, record.line, record.col,
                                      token.name, record.label, trace, st)
-                elif record.kind == "compare" and token.cls == TIMING:
-                    self._emit_cd210(record.module, record.line, record.col,
-                                     token.name, trace, st)
             elif st.summary is not None:
                 st.summary.add_param_sink(
                     token.name,
@@ -885,9 +875,6 @@ class TaintAnalysis:
                 if kind == "sink" and token.cls == SECRECY:
                     self._emit_sf110(st.ctx.module, line, col, token.name,
                                      label, trace, st)
-                elif kind == "compare" and token.cls == TIMING:
-                    self._emit_cd210(st.ctx.module, line, col, token.name,
-                                     trace, st)
             elif st.summary is not None:
                 st.summary.add_param_sink(
                     token.name,
@@ -904,13 +891,6 @@ class TaintAnalysis:
             "SF110", module, line, col,
             f"secret {origin!r} reaches {label} through aliasing/dataflow "
             "(see trace)", trace, st)
-
-    def _emit_cd210(self, module: str, line: int, col: int, origin: str,
-                    trace: tuple, st: _WalkState) -> None:
-        self._emit(
-            "CD210", module, line, col,
-            f"value derived from key material {origin!r} compared with "
-            "==/!=; use crypto.constant_time_equal", trace, st)
 
     def _emit(self, rule_id: str, module: str, line: int, col: int,
               message: str, trace: tuple, st: _WalkState) -> None:

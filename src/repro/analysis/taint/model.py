@@ -6,8 +6,8 @@ A *taint value* is a small map of :class:`Token` objects keyed by
 ``cls``
     ``"secret"`` — confidentiality taint (key material, templates,
     minutiae; feeds SF110/SF111), or ``"ctime"`` — timing sensitivity
-    (MAC tags, digests, anything derived from key material; feeds
-    CD210).  A value may carry both classes at once.
+    (MAC tags, digests, anything derived from key material; feeds the
+    side-channel pass's SC805).  A value may carry both classes at once.
 
 ``kind``
     ``"source"`` — rooted at a concrete secret-named identifier, or

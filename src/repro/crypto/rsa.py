@@ -38,18 +38,22 @@ class DecryptionError(Exception):
     """Raised when an RSA ciphertext cannot be decrypted/unpadded."""
 
 
+# _egcd/_modinv/_private_op form the audited modpow boundary
+# ([tool.trust-lint.sc] modpow-boundary): CPython bigint arithmetic is
+# inherently value-dependent, so constant-time discipline stops here by
+# declared policy and every suppression below carries its reason.
 def _egcd(a: int, b: int) -> tuple[int, int, int]:
-    if a == 0:
+    if a == 0:  # trust-lint: disable=SC800 -- recursion base case of the audited gcd; operand-dependent cost is accepted inside the modpow boundary
         return b, 0, 1
-    g, x, y = _egcd(b % a, a)
-    return g, y - (b // a) * x, x
+    g, x, y = _egcd(b % a, a)  # trust-lint: disable=SC803 -- bigint reduction inside the audited modpow boundary
+    return g, y - (b // a) * x, x  # trust-lint: disable=SC803 -- bigint division inside the audited modpow boundary
 
 
 def _modinv(a: int, m: int) -> int:
-    g, x, _ = _egcd(a % m, m)
-    if g != 1:
+    g, x, _ = _egcd(a % m, m)  # trust-lint: disable=SC803 -- bigint reduction inside the audited modpow boundary
+    if g != 1:  # trust-lint: disable=SC800 -- invertibility check; reachable only with degenerate key material, inside the audited boundary
         raise ValueError("modular inverse does not exist")
-    return x % m
+    return x % m  # trust-lint: disable=SC803 -- bigint reduction inside the audited modpow boundary
 
 
 def _i2osp(x: int, length: int) -> bytes:
@@ -157,13 +161,15 @@ class RsaPrivateKey:
         return RsaPublicKey(n=self.n, e=self.e)
 
     def _private_op(self, c: int) -> int:
-        # CRT: roughly 4x faster than a straight pow(c, d, n).
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
+        # CRT: roughly 4x faster than a straight pow(c, d, n).  This is
+        # the audited modpow boundary: CPython's pow/% cost varies with
+        # operand values and no pure-Python ladder can hide that.
+        dp = self.d % (self.p - 1)  # trust-lint: disable=SC803 -- CRT exponent reduction inside the audited modpow boundary
+        dq = self.d % (self.q - 1)  # trust-lint: disable=SC803 -- CRT exponent reduction inside the audited modpow boundary
         q_inv = _modinv(self.q, self.p)
-        m1 = pow(c % self.p, dp, self.p)
-        m2 = pow(c % self.q, dq, self.q)
-        h = (q_inv * (m1 - m2)) % self.p
+        m1 = pow(c % self.p, dp, self.p)  # trust-lint: disable=SC803 -- modular exponentiation inside the audited modpow boundary
+        m2 = pow(c % self.q, dq, self.q)  # trust-lint: disable=SC803 -- modular exponentiation inside the audited modpow boundary
+        h = (q_inv * (m1 - m2)) % self.p  # trust-lint: disable=SC803 -- CRT recombination inside the audited modpow boundary
         return m2 + h * self.q
 
     def sign(self, message: bytes) -> bytes:
@@ -172,7 +178,15 @@ class RsaPrivateKey:
         return _i2osp(self._private_op(_os2ip(em)), self.byte_length)
 
     def decrypt(self, ciphertext: bytes) -> bytes:
-        """Invert RSAES-PKCS1-v1_5; raises DecryptionError on bad padding."""
+        """Invert RSAES-PKCS1-v1_5; raises DecryptionError on bad padding.
+
+        The unpadding is constant-time in the decrypted block: one full
+        scan with arithmetic flag accumulation, a single verdict compare
+        through :func:`constant_time_equal`, and one combined error for
+        every padding defect, so a Bleichenbacher-style oracle cannot
+        distinguish *why* a ciphertext was rejected — or how far the
+        check got — from the response timing.
+        """
         k = self.byte_length
         if len(ciphertext) != k:
             raise DecryptionError("ciphertext length mismatch")
@@ -180,14 +194,25 @@ class RsaPrivateKey:
         if c >= self.n:
             raise DecryptionError("ciphertext out of range")
         em = _i2osp(self._private_op(c), k)
-        if em[0] != 0x00 or em[1] != 0x02:
-            raise DecryptionError("bad padding header")
-        try:
-            separator = em.index(b"\x00", 2)
-        except ValueError:
-            raise DecryptionError("missing padding separator") from None
-        if separator < 10:  # at least 8 bytes of non-zero padding
-            raise DecryptionError("padding too short")
+        header_ok = constant_time_equal(em[:2], b"\x00\x02")
+        # Branch-free scan: is_zero is 1 exactly when the byte is zero,
+        # separator accumulates the index of the *first* zero at or
+        # after offset 2, seen_zero latches whether one exists at all.
+        separator = 0
+        seen_zero = 0
+        for i in range(2, k):
+            byte = em[i]
+            is_zero = 1 - (((byte | -byte) >> 8) & 1)
+            first_zero = is_zero & (1 - seen_zero)
+            separator |= i * first_zero
+            seen_zero |= is_zero
+        # At least 8 bytes of non-zero padding: separator >= 10.  The
+        # sign bit of (separator - 10) is extracted arithmetically so no
+        # comparison result ever steers control flow.
+        long_enough = 1 - (((separator - 10) >> 16) & 1)
+        verdict = int(header_ok) & seen_zero & long_enough
+        if not constant_time_equal(bytes([verdict]), b"\x01"):
+            raise DecryptionError("bad PKCS#1 v1.5 padding")
         return em[separator + 1:]
 
 

@@ -128,7 +128,7 @@ class ImageFingerprintProcessor:
 
     def add_template(self, template: FingerprintTemplate) -> None:
         """Enroll an additional finger."""
-        if any(t.finger_id == template.finger_id for t in self.templates):
+        if template.finger_id in [t.finger_id for t in self.templates]:
             raise ValueError(
                 f"finger {template.finger_id!r} is already enrolled")
         self.templates.append(template)

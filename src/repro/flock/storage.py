@@ -106,7 +106,7 @@ class ProtectedFlash:
 
     def all_records(self) -> list[ServiceRecord]:
         """Internal-only iteration (identity transfer packs these)."""
-        return [self._records[d] for d in self.domains()]
+        return [record for _, record in sorted(self._records.items())]
 
 
 class SramModel:

@@ -103,14 +103,14 @@ def decode_cookie(header: str) -> Envelope:
         name = name.strip()
         if not name.startswith(_PREFIX):
             continue  # unrelated cookie riding the same header
-        key = name[len(_PREFIX):]
+        field_name = name[len(_PREFIX):]
         value = _decode_value(encoded.strip())
-        if key == "type":
+        if field_name == "type":
             if not isinstance(value, str):
                 raise ProtocolError("malformed-cookie", "type must be str")
             msg_type = value
         else:
-            fields[key] = value
+            fields[field_name] = value
     if msg_type is None:
         raise ProtocolError("malformed-cookie", "missing trust-type")
     return Envelope(msg_type, fields)

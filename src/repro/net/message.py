@@ -77,10 +77,10 @@ def _encode_value(value) -> str:
 def canonical_payload(fields: dict) -> bytes:
     """Canonical byte encoding of a field dict (the MAC/signature input)."""
     lines = []
-    for key in sorted(fields):
-        if key == "mac":
+    for field_name in sorted(fields):
+        if field_name == "mac":
             continue  # the MAC never covers itself
-        lines.append(f"{key}={_encode_value(fields[key])}")
+        lines.append(f"{field_name}={_encode_value(fields[field_name])}")
     return "\n".join(lines).encode("utf-8")
 
 

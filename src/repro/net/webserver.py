@@ -156,7 +156,7 @@ class WebServer:
     def account_key(self, account: str) -> RsaPublicKey | None:
         """The device public key bound to an account, or None."""
         record = self._accounts.get(account)
-        return record.public_key if record else None
+        return record.public_key if record is not None else None
 
     def reset_identity(self, account: str, password: str) -> None:
         """Identity reset (section IV-B): drop the key binding by password."""

@@ -74,7 +74,7 @@ class TestReporters:
         run = sarif["runs"][0]
         assert run["tool"]["driver"]["name"] == "repro-lint"
         rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
-        assert {"SF101", "SF110", "SF111", "CD210"} <= rule_ids
+        assert {"SF101", "SF110", "SF111", "SC805"} <= rule_ids
         (result,) = [r for r in run["results"] if r["ruleId"] == "SF110"]
         assert result["partialFingerprints"]["trustLint/v1"]
         locations = result["codeFlows"][0]["threadFlows"][0]["locations"]

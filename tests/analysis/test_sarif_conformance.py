@@ -1,7 +1,7 @@
-"""SARIF 2.1.0 structural conformance across all five assurance stages.
+"""SARIF 2.1.0 structural conformance across all six assurance stages.
 
 One parametrized test drives each stage — lint, taint, det, verify,
-contract — to a non-empty finding set through its real entry point, then
+contract, sc — to a non-empty finding set through its real entry point, then
 asserts the rendered SARIF satisfies the structural subset code-scanning
 UIs rely on: schema/version header, a single run, a driver whose rule
 metadata covers every reported ``ruleId``, one-based regions on every
@@ -37,6 +37,16 @@ TAINT_FIXTURE = {
         def leak(session_key):
             alias = session_key
             print(alias)
+    """,
+}
+
+SC_FIXTURE = {
+    # SC800: control flow forks on a secret inside the crypto package.
+    "repro.crypto.fixture": """
+        def route(session_key):
+            if session_key:
+                return 1
+            return 0
     """,
 }
 
@@ -126,10 +136,11 @@ STAGES = {
     "verify": _verify_report,
     "contract": lambda: _fixture_report(CONTRACT_FIXTURE, contract=True,
                                         config=_contract_config()),
+    "sc": lambda: _fixture_report(SC_FIXTURE, sc=True),
 }
 
 EXPECTED_RULE_PREFIX = {"lint": "CD", "taint": "SF", "det": "DT",
-                        "verify": "PV", "contract": "CT"}
+                        "verify": "PV", "contract": "CT", "sc": "SC"}
 
 
 @pytest.mark.parametrize("stage", sorted(STAGES))

@@ -17,19 +17,20 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 def test_analysis_pass_is_clean_over_src():
-    # --taint includes the interprocedural SF110/SF111/CD210 pass,
-    # --det the determinism/shard-isolation pass (DT6xx/RC61x) and
-    # --contract the wire-contract conformance pass (CT7xx), so aliased
-    # leaks, cross-call timing compares, hash-order-dependent output,
-    # shard-boundary escapes and client/server schema drift all gate
-    # merges.
+    # --taint includes the interprocedural SF110/SF111 pass, --det the
+    # determinism/shard-isolation pass (DT6xx/RC61x), --contract the
+    # wire-contract conformance pass (CT7xx) and --sc the constant-time
+    # side-channel pass (SC8xx), so aliased leaks, cross-call timing
+    # compares, hash-order-dependent output, shard-boundary escapes,
+    # client/server schema drift and secret-dependent control flow all
+    # gate merges.
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     proc = subprocess.run(
         [sys.executable, "-m", "repro.analysis", "--taint", "--det",
-         "--contract", "src"],
+         "--contract", "--sc", "src"],
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120,
     )
     assert proc.returncode == 0, (

@@ -1,4 +1,4 @@
-"""SF110/SF111/CD210 — interprocedural taint-flow rule fixtures.
+"""SF110/SF111 — interprocedural taint-flow rule fixtures.
 
 Every rule gets true-positive and true-negative fixtures, the
 cross-module cases exercise the project index + call graph, and the
@@ -203,18 +203,28 @@ class TestSF111:
         assert by_rule(findings, "SF111") == []
 
 
-class TestCD210:
-    def test_interprocedural_compare_is_flagged(self):
-        findings = taint_lint({
-            "repro.net.util": EQ_HELPER,
-            "repro.net.verify": """
-                from repro.net import util
+class TestCD210Retirement:
+    """CD210 is retired: its cases report as SC805 from the sc pass."""
 
-                def verify(session_key, candidate):
-                    return util.equal(session_key, candidate)
-            """,
-        })
-        hits = by_rule(findings, "CD210")
+    _HANDSHAKE = """
+        from repro.net import util
+
+        def handshake(session_key, candidate):
+            return util.equal(session_key, candidate)
+    """
+
+    def test_taint_pass_no_longer_reports_compares(self):
+        findings = taint_lint({"repro.net.util": EQ_HELPER,
+                               "repro.net.session": self._HANDSHAKE})
+        assert "CD210" not in rule_ids(findings)
+        assert "SC805" not in rule_ids(findings)  # sc pass not requested
+
+    def test_sc_pass_subsumes_the_interprocedural_compare(self):
+        findings = analyze_sources(
+            {"repro.net.util": textwrap.dedent(EQ_HELPER),
+             "repro.net.session": textwrap.dedent(self._HANDSHAKE)},
+            taint=True, sc=True)
+        hits = by_rule(findings, "SC805")
         assert len(hits) == 1
         # Anchored at the fix site: the comparison inside the helper.
         assert hits[0].module == "repro.net.util"
@@ -222,25 +232,17 @@ class TestCD210:
         # CD202 (local + name-based) cannot see this one.
         assert "CD202" not in rule_ids(findings)
 
-    def test_derived_alias_compare_is_flagged(self):
-        findings = taint_lint("""
-            def check(session_key, other):
-                derived = session_key
-                return derived == other
-        """)
-        assert by_rule(findings, "CD210")
-
     def test_public_values_compare_freely(self):
-        findings = taint_lint({
-            "repro.net.util": EQ_HELPER,
-            "repro.net.verify": """
-                from repro.net import util
+        findings = analyze_sources(
+            {"repro.net.util": textwrap.dedent(EQ_HELPER),
+             "repro.net.session": textwrap.dedent("""
+                 from repro.net import util
 
-                def verify(domain, candidate):
-                    return util.equal(domain, candidate)
-            """,
-        })
-        assert by_rule(findings, "CD210") == []
+                 def handshake(domain, candidate):
+                     return util.equal(domain, candidate)
+             """)},
+            taint=True, sc=True)
+        assert by_rule(findings, "SC805") == []
 
 
 class TestProjectIndex:
@@ -273,7 +275,7 @@ class TestTraces:
                                "repro.net.client": NET_CLIENT,
                                "repro.net.alias": ALIAS_LEAK})
         taint_findings = [f for f in findings
-                          if f.rule in ("SF110", "SF111", "CD210")]
+                          if f.rule in ("SF110", "SF111")]
         assert taint_findings
         for finding in taint_findings:
             assert finding.trace, f"{finding.rule} finding without a trace"
