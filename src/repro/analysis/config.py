@@ -157,7 +157,7 @@ class AnalysisConfig:
     #: and the frame-hash display path the paper scopes MD5 to.
     weak_hash_allowed_modules: tuple[str, ...] = (
         "repro.crypto", "repro.crypto.md5", "repro.crypto.mac",
-        "repro.flock.display",
+        "repro.crypto.backend", "repro.flock.display",
     )
 
     #: Extra identifier patterns (beyond :attr:`secret_patterns`) that seed
@@ -180,6 +180,10 @@ class AnalysisConfig:
         # Size observers and seeded-RNG constructors: their outputs do
         # not reveal the material that parameterised them.
         "*length*", "bit_length", "default_rng",
+        # The CryptoBackend registry API: signatures and verification
+        # verdicts are public by protocol, and a DRBG seals its seed the
+        # same way the HmacDrbg constructor always has.
+        "rsa_sign", "rsa_verify*", "make_drbg",
     )
 
     #: Callable-name patterns whose results demand constant-time equality
@@ -316,6 +320,8 @@ class AnalysisConfig:
         "verify*", "attest*", "mac", "*_mac", "compare_*",
         "bool", "type", "id", "isinstance", "hasattr", "range",
         "bit_length", "*length*", "default_rng",
+        # CryptoBackend registry methods with public outputs.
+        "rsa_sign", "rsa_verify*", "make_drbg",
     )
 
     #: Extra identifier patterns (beyond :attr:`secret_patterns`) that
@@ -340,6 +346,12 @@ class AnalysisConfig:
         "repro.crypto.rsa.RsaPrivateKey._private_op",
         "repro.crypto.rsa._modinv",
         "repro.crypto.rsa._egcd",
+        # The accelerated backend's CRT/Montgomery interior: the same
+        # bigint primitives, reached through the registry's hot path.
+        "repro.crypto.backend._crt_params",
+        "repro.crypto.backend._crt_private_op",
+        "repro.crypto.backend._ladder_pow",
+        "repro.crypto.backend.AcceleratedBackend.rsa_decrypt",
     )
 
     # ------------------------------------------------- protocol verification

@@ -5,6 +5,13 @@ MD5 hashing, HMAC/HKDF, an HMAC-DRBG, RSA key generation / signatures /
 encryption, the ChaCha20 session cipher, and CA-signed certificates.  All
 primitives are pure Python and verified against published test vectors in
 ``tests/crypto``.
+
+Consumers access primitives through a :class:`~repro.crypto.backend.
+CryptoBackend` from the backend registry: the pure-Python modules here are
+the ``reference`` engine (the executable specification), and the
+``accelerated`` engine reimplements the hot paths byte-identically on the
+stdlib.  Select per-process with ``REPRO_CRYPTO_BACKEND`` or per-run via
+explicit injection.
 """
 
 from .sha256 import SHA256, sha256, sha256_hex
@@ -21,6 +28,15 @@ from .rsa import (
 )
 from .chacha20 import chacha20_block, chacha20_xor, SessionCipher, AuthenticationError
 from .cert import Certificate, CertificateError, CertificateAuthority
+from .backend import (
+    CryptoBackend,
+    AcceleratedBackend,
+    register_backend,
+    available_backends,
+    get_backend,
+    default_backend,
+    set_default_backend,
+)
 
 __all__ = [
     "SHA256", "sha256", "sha256_hex",
@@ -32,4 +48,7 @@ __all__ = [
     "SignatureError", "DecryptionError",
     "chacha20_block", "chacha20_xor", "SessionCipher", "AuthenticationError",
     "Certificate", "CertificateError", "CertificateAuthority",
+    "CryptoBackend", "AcceleratedBackend",
+    "register_backend", "available_backends", "get_backend",
+    "default_backend", "set_default_backend",
 ]

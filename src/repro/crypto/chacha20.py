@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import struct
 
-from .mac import hkdf_sha256, hmac_sha256, constant_time_equal
+from .mac import constant_time_equal
 
 __all__ = ["chacha20_block", "chacha20_xor", "SessionCipher", "AuthenticationError"]
 
@@ -81,10 +81,15 @@ class SessionCipher:
     TAG_SIZE = 32
     NONCE_SIZE = 12
 
-    def __init__(self, session_key: bytes) -> None:
+    def __init__(self, session_key: bytes, backend=None) -> None:
         if len(session_key) < 16:
             raise ValueError("session key must be at least 16 bytes")
-        material = hkdf_sha256(session_key, 64, info=b"trust-session-cipher")
+        if backend is None:
+            from .backend import default_backend
+            backend = default_backend()
+        self._backend = backend
+        material = backend.hkdf_sha256(session_key, 64,
+                                       info=b"trust-session-cipher")
         self._enc_key = material[:32]
         self._mac_key = material[32:]
         self._send_counter = 0
@@ -93,8 +98,9 @@ class SessionCipher:
         """Return nonce || ciphertext || tag."""
         nonce = self._send_counter.to_bytes(self.NONCE_SIZE, "big")
         self._send_counter += 1
-        ciphertext = chacha20_xor(self._enc_key, nonce, plaintext)
-        tag = hmac_sha256(self._mac_key, nonce + associated_data + ciphertext)
+        ciphertext = self._backend.chacha20_xor(self._enc_key, nonce, plaintext)
+        tag = self._backend.hmac_sha256(
+            self._mac_key, nonce + associated_data + ciphertext)
         return nonce + ciphertext + tag
 
     def decrypt(self, blob: bytes, associated_data: bytes = b"") -> bytes:
@@ -104,7 +110,8 @@ class SessionCipher:
         nonce = blob[:self.NONCE_SIZE]
         tag = blob[-self.TAG_SIZE:]
         ciphertext = blob[self.NONCE_SIZE:-self.TAG_SIZE]
-        expected = hmac_sha256(self._mac_key, nonce + associated_data + ciphertext)
+        expected = self._backend.hmac_sha256(
+            self._mac_key, nonce + associated_data + ciphertext)
         if not constant_time_equal(tag, expected):
             raise AuthenticationError("MAC verification failed")
-        return chacha20_xor(self._enc_key, nonce, ciphertext)
+        return self._backend.chacha20_xor(self._enc_key, nonce, ciphertext)

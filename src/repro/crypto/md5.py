@@ -1,27 +1,18 @@
-"""Pure-Python MD5 (RFC 1321).
+"""Pure-Python MD5 (RFC 1321): the reference implementation.
 
 The paper's display repeater suggests "MD5 or SHA256" for frame hashing; we
 provide both so the frame-hash engine can be configured either way, and so the
 cost difference is measurable in the E9 benchmark.  MD5 is used here strictly
-as a non-adversarial integrity checksum, mirroring the paper.
+as a non-adversarial integrity checksum, mirroring the paper.  The fast
+:mod:`hashlib` path lives in the ``accelerated`` crypto backend
+(:mod:`repro.crypto.backend`), pinned byte-identical to this class.
 """
 
 from __future__ import annotations
 
-import hashlib
 import struct
 
-from .sha256 import accelerated_enabled
-
 __all__ = ["MD5", "md5", "md5_hex"]
-
-
-def _new_impl():
-    """A stdlib MD5 object, or None on FIPS-restricted builds."""
-    try:
-        return hashlib.md5()
-    except ValueError:  # pragma: no cover - FIPS builds forbid MD5
-        return None
 
 _S = (
     7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
@@ -47,7 +38,6 @@ class MD5:
     name = "md5"
 
     def __init__(self, data: bytes = b"") -> None:
-        self._impl = _new_impl() if accelerated_enabled() else None
         self._state = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476]
         self._buffer = b""
         self._length = 0
@@ -59,9 +49,6 @@ class MD5:
         if not isinstance(data, (bytes, bytearray, memoryview)):
             raise TypeError(f"expected bytes-like, got {type(data).__name__}")
         data = bytes(data)
-        if self._impl is not None:
-            self._impl.update(data)
-            return self
         self._length += len(data)
         self._buffer += data
         while len(self._buffer) >= 64:
@@ -94,7 +81,6 @@ class MD5:
     def copy(self) -> "MD5":
         """Independent clone of the running hash state."""
         clone = MD5()
-        clone._impl = self._impl.copy() if self._impl is not None else None
         clone._state = list(self._state)
         clone._buffer = self._buffer
         clone._length = self._length
@@ -102,8 +88,6 @@ class MD5:
 
     def digest(self) -> bytes:
         """Digest of everything absorbed so far (state preserved)."""
-        if self._impl is not None:
-            return self._impl.digest()
         clone = self.copy()
         bit_length = (clone._length * 8) & 0xFFFFFFFFFFFFFFFF
         pad_len = (55 - clone._length) % 64

@@ -8,9 +8,20 @@ hardware TRNG the paper's ASIC would carry.
 
 from __future__ import annotations
 
-from .mac import hmac_sha256
+from typing import Callable
 
 __all__ = ["HmacDrbg"]
+
+
+def _default_hmac() -> "Callable[[bytes, bytes], bytes]":
+    """The process default backend's HMAC engine.
+
+    Imported lazily: ``backend`` sits above this module in the package
+    import order.  Every backend's HMAC is byte-identical, so the choice
+    affects wall-clock only — never the generated stream.
+    """
+    from .backend import default_backend
+    return default_backend().hmac_sha256
 
 
 class HmacDrbg:
@@ -18,25 +29,31 @@ class HmacDrbg:
 
     Implements instantiate / reseed / generate from SP 800-90A, minus the
     prediction-resistance machinery which is irrelevant in simulation.
+    The HMAC engine is injectable (``hmac_fn``) so crypto backends can
+    supply their own implementation; the output stream is a pure function
+    of (seed, personalization, call sequence) regardless of engine.
     """
 
     #: SP 800-90A limit on a single generate call (bytes).
     MAX_REQUEST = 1 << 16
 
-    def __init__(self, seed: bytes, personalization: bytes = b"") -> None:
+    def __init__(self, seed: bytes, personalization: bytes = b"",
+                 hmac_fn: "Callable[[bytes, bytes], bytes] | None" = None) -> None:
         if not isinstance(seed, (bytes, bytearray)) or len(seed) == 0:
             raise ValueError("seed must be non-empty bytes")
+        self._hmac = hmac_fn if hmac_fn is not None else _default_hmac()
         self._key = b"\x00" * 32
         self._value = b"\x01" * 32
         self._reseed_counter = 1
         self._update(bytes(seed) + personalization)
 
     def _update(self, provided: bytes = b"") -> None:
-        self._key = hmac_sha256(self._key, self._value + b"\x00" + provided)
-        self._value = hmac_sha256(self._key, self._value)
+        hmac_fn = self._hmac
+        self._key = hmac_fn(self._key, self._value + b"\x00" + provided)
+        self._value = hmac_fn(self._key, self._value)
         if provided:
-            self._key = hmac_sha256(self._key, self._value + b"\x01" + provided)
-            self._value = hmac_sha256(self._key, self._value)
+            self._key = hmac_fn(self._key, self._value + b"\x01" + provided)
+            self._value = hmac_fn(self._key, self._value)
 
     def reseed(self, entropy: bytes) -> None:
         """Mix fresh entropy into the generator state."""
@@ -51,9 +68,10 @@ class HmacDrbg:
             raise ValueError("n_bytes must be non-negative")
         if n_bytes > self.MAX_REQUEST:
             raise ValueError(f"single request limited to {self.MAX_REQUEST} bytes")
+        hmac_fn = self._hmac
         output = b""
         while len(output) < n_bytes:
-            self._value = hmac_sha256(self._key, self._value)
+            self._value = hmac_fn(self._key, self._value)
             output += self._value
         self._update()
         self._reseed_counter += 1

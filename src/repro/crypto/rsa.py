@@ -71,6 +71,13 @@ class RsaPublicKey:
     n: int
     e: int
 
+    def __copy__(self) -> "RsaPublicKey":
+        # Frozen ints ⇒ value-immutable: fleet device cloning shares keys.
+        return self
+
+    def __deepcopy__(self, memo) -> "RsaPublicKey":
+        return self
+
     @property
     def byte_length(self) -> int:
         """Modulus size in bytes."""
@@ -150,6 +157,13 @@ class RsaPrivateKey:
     p: int
     q: int
 
+    def __copy__(self) -> "RsaPrivateKey":
+        # Frozen ints ⇒ value-immutable: fleet device cloning shares keys.
+        return self
+
+    def __deepcopy__(self, memo) -> "RsaPrivateKey":
+        return self
+
     @property
     def byte_length(self) -> int:
         """Modulus size in bytes."""
@@ -194,30 +208,40 @@ class RsaPrivateKey:
         if c >= self.n:
             raise DecryptionError("ciphertext out of range")
         em = _i2osp(self._private_op(c), k)
-        header_ok = constant_time_equal(em[:2], b"\x00\x02")
-        # Branch-free scan: is_zero is 1 exactly when the byte is zero,
-        # separator accumulates the index of the *first* zero at or
-        # after offset 2, seen_zero latches whether one exists at all.
-        separator = 0
-        seen_zero = 0
-        for i in range(2, k):
-            byte = em[i]
-            is_zero = 1 - (((byte | -byte) >> 8) & 1)
-            first_zero = is_zero & (1 - seen_zero)
-            separator |= i * first_zero
-            seen_zero |= is_zero
-        # At least 8 bytes of non-zero padding: separator >= 10.  The
-        # sign bit of (separator - 10) is extracted arithmetically so no
-        # comparison result ever steers control flow.
-        long_enough = 1 - (((separator - 10) >> 16) & 1)
-        verdict = int(header_ok) & seen_zero & long_enough
-        if not constant_time_equal(bytes([verdict]), b"\x01"):
-            raise DecryptionError("bad PKCS#1 v1.5 padding")
-        return em[separator + 1:]
+        return _unpad_pkcs1_v15(em, k)
 
 
-def _emsa_pkcs1_v15(message: bytes, em_len: int) -> bytes:
-    t = _SHA256_DIGEST_INFO + sha256(message)
+def _unpad_pkcs1_v15(em: bytes, k: int) -> bytes:
+    """Constant-time RSAES-PKCS1-v1_5 unpadding of a decrypted block.
+
+    Shared by the reference private key and the accelerated backend so
+    there is exactly one audited unpadder.  Raises DecryptionError with
+    one combined error for every padding defect.
+    """
+    header_ok = constant_time_equal(em[:2], b"\x00\x02")
+    # Branch-free scan: is_zero is 1 exactly when the byte is zero,
+    # separator accumulates the index of the *first* zero at or
+    # after offset 2, seen_zero latches whether one exists at all.
+    separator = 0
+    seen_zero = 0
+    for i in range(2, k):
+        byte = em[i]
+        is_zero = 1 - (((byte | -byte) >> 8) & 1)
+        first_zero = is_zero & (1 - seen_zero)
+        separator |= i * first_zero
+        seen_zero |= is_zero
+    # At least 8 bytes of non-zero padding: separator >= 10.  The
+    # sign bit of (separator - 10) is extracted arithmetically so no
+    # comparison result ever steers control flow.
+    long_enough = 1 - (((separator - 10) >> 16) & 1)
+    verdict = int(header_ok) & seen_zero & long_enough
+    if not constant_time_equal(bytes([verdict]), b"\x01"):
+        raise DecryptionError("bad PKCS#1 v1.5 padding")
+    return em[separator + 1:]
+
+
+def _emsa_pkcs1_v15(message: bytes, em_len: int, digest=sha256) -> bytes:
+    t = _SHA256_DIGEST_INFO + digest(message)
     if em_len < len(t) + 11:
         raise ValueError("modulus too small for SHA-256 signature")
     return b"\x00\x01" + b"\xff" * (em_len - len(t) - 3) + b"\x00" + t

@@ -1,4 +1,4 @@
-"""SHA-256 (FIPS 180-4): pure-Python reference + stdlib fast path.
+"""SHA-256 (FIPS 180-4): the pure-Python reference implementation.
 
 The FLock module's frame-hash engine and crypto processor need a hash
 primitive that lives entirely inside the simulated trusted boundary.  The
@@ -8,41 +8,20 @@ vectors in the test suite.
 
 Because every protocol message, DRBG draw and session MAC bottoms out in
 this compression function, fleet-scale runs (``repro.runtime``) spend
-nearly all their time here.  By default the class therefore delegates to
-:mod:`hashlib` (stdlib, byte-identical output); the reference compression
-path stays selectable via :func:`set_accelerated` and the equivalence of
-the two backends is pinned by the test suite.
+nearly all their time here.  Speed therefore comes from the crypto
+backend registry (:mod:`repro.crypto.backend`): consumers route digests
+through an injected :class:`~repro.crypto.backend.CryptoBackend`, whose
+``accelerated`` engine delegates to :mod:`hashlib` with byte-identical
+output.  This module stays the executable specification the equivalence
+suite pins that engine against.  (The old per-module
+``set_accelerated`` global switch is retired in favour of the registry.)
 """
 
 from __future__ import annotations
 
-import hashlib
 import struct
 
-__all__ = ["SHA256", "sha256", "sha256_hex", "set_accelerated",
-           "accelerated_enabled"]
-
-#: Module-wide backend switch: True routes new hash objects through
-#: :mod:`hashlib`, False through the pure-Python reference rounds.
-_ACCELERATED = True
-
-
-def set_accelerated(enabled: bool) -> bool:
-    """Select the hash backend; returns the previous setting.
-
-    Affects :class:`SHA256` *and* :class:`~repro.crypto.md5.MD5` objects
-    created afterwards (MD5 reads this module's flag); live objects keep
-    the backend they started with.
-    """
-    global _ACCELERATED
-    previous = _ACCELERATED
-    _ACCELERATED = bool(enabled)
-    return previous
-
-
-def accelerated_enabled() -> bool:
-    """Whether new hash objects use the stdlib fast path."""
-    return _ACCELERATED
+__all__ = ["SHA256", "sha256", "sha256_hex"]
 
 _K = (
     0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
@@ -78,7 +57,6 @@ class SHA256:
     name = "sha256"
 
     def __init__(self, data: bytes = b"") -> None:
-        self._impl = hashlib.sha256() if _ACCELERATED else None
         self._h = list(_H0)
         self._buffer = b""
         self._length = 0
@@ -90,9 +68,6 @@ class SHA256:
         if not isinstance(data, (bytes, bytearray, memoryview)):
             raise TypeError(f"expected bytes-like, got {type(data).__name__}")
         data = bytes(data)
-        if self._impl is not None:
-            self._impl.update(data)
-            return self
         self._length += len(data)
         self._buffer += data
         while len(self._buffer) >= 64:
@@ -131,7 +106,6 @@ class SHA256:
     def copy(self) -> "SHA256":
         """Independent clone of the running hash state."""
         clone = SHA256()
-        clone._impl = self._impl.copy() if self._impl is not None else None
         clone._h = list(self._h)
         clone._buffer = self._buffer
         clone._length = self._length
@@ -139,8 +113,6 @@ class SHA256:
 
     def digest(self) -> bytes:
         """Digest of everything absorbed so far (state preserved)."""
-        if self._impl is not None:
-            return self._impl.digest()
         clone = self.copy()
         bit_length = clone._length * 8
         pad_len = (55 - clone._length) % 64

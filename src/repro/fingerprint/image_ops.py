@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
+from .orientation import _uniform_filter
+
 __all__ = [
     "normalize",
     "segment_foreground",
@@ -72,9 +74,15 @@ def block_view_stats(image: np.ndarray, block: int) -> tuple[np.ndarray, np.ndar
 def local_contrast(image: np.ndarray, block: int = 12) -> np.ndarray:
     """Per-pixel local standard deviation (sliding window)."""
     image = np.asarray(image, dtype=np.float64)
-    mean = ndimage.uniform_filter(image, size=block)
-    mean_sq = ndimage.uniform_filter(image * image, size=block)
-    return np.sqrt(np.maximum(mean_sq - mean * mean, 0.0))
+    mean = _uniform_filter(image, block)
+    mean_sq = image * image
+    _uniform_filter(mean_sq, block, output=mean_sq)
+    # In-place variance -> std; same op order as the reference expression
+    # sqrt(max(mean_sq - mean*mean, 0)) so the result is bit-identical.
+    mean *= mean
+    mean_sq -= mean
+    np.maximum(mean_sq, 0.0, out=mean_sq)
+    return np.sqrt(mean_sq, out=mean_sq)
 
 
 def binarize(image: np.ndarray, mask: np.ndarray | None = None,

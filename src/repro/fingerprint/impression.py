@@ -16,6 +16,7 @@ master fingerprint under a parameterized capture condition:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy import ndimage
@@ -23,6 +24,25 @@ from scipy import ndimage
 from .synthesis import MasterFingerprint
 
 __all__ = ["CaptureCondition", "Impression", "render_impression"]
+
+
+@lru_cache(maxsize=8)
+def _centred_grid(rows: int, cols: int) -> tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray]:
+    """Read-only centre-relative offset grids for one sensor frame shape.
+
+    Every render of an (rows, cols) frame starts from the same centred
+    pixel offsets and squared radii, so they are computed once per shape
+    and shared; the arrays are frozen because callers must only read them.
+    """
+    out_r, out_c = np.meshgrid(np.arange(rows, dtype=np.float64),
+                               np.arange(cols, dtype=np.float64), indexing="ij")
+    rel_r = out_r - rows / 2.0
+    rel_c = out_c - cols / 2.0
+    rel_sq = rel_r**2 + rel_c**2
+    for grid in (rel_r, rel_c, rel_sq):
+        grid.setflags(write=False)
+    return rel_r, rel_c, rel_sq
 
 
 @dataclass(frozen=True)
@@ -93,61 +113,97 @@ def render_impression(master: MasterFingerprint, condition: CaptureCondition,
     if center is None:
         center = (master.shape[0] / 2.0, master.shape[1] / 2.0)
 
-    # Build sampling coordinates: output pixel -> master pixel.
-    out_r, out_c = np.meshgrid(np.arange(rows, dtype=np.float64),
-                               np.arange(cols, dtype=np.float64), indexing="ij")
-    rel_r = out_r - rows / 2.0
-    rel_c = out_c - cols / 2.0
+    # Build sampling coordinates: output pixel -> master pixel.  The
+    # arithmetic below runs once per touch, so it works in place where the
+    # operand is a fresh array — every reordering keeps IEEE-754 bit
+    # identity (addition and multiplication commute exactly).
+    rel_r, rel_c, rel_sq = _centred_grid(rows, cols)
     theta = np.deg2rad(condition.rotation_deg)
     cos_t, sin_t = np.cos(theta), np.sin(theta)
-    src_r = center[0] + condition.translation[0] + rel_r * cos_t - rel_c * sin_t
-    src_c = center[1] + condition.translation[1] + rel_r * sin_t + rel_c * cos_t
+    src_r = rel_r * cos_t
+    src_r += center[0] + condition.translation[0]
+    src_r -= rel_c * sin_t
+    src_c = rel_r * sin_t
+    src_c += center[1] + condition.translation[1]
+    src_c += rel_c * cos_t
 
     if condition.distortion > 0.0:
         d_r, d_c = _elastic_displacement((rows, cols), condition.distortion, rng)
-        src_r = src_r + d_r
-        src_c = src_c + d_c
+        src_r += d_r
+        src_c += d_c
+
+    # Contact mask: circular patch (partial print) or everything that landed
+    # inside the master area (full print).
+    mask = src_r >= 0
+    mask &= src_r <= master.shape[0] - 1
+    mask &= src_c >= 0
+    mask &= src_c <= master.shape[1] - 1
+    if condition.radius is not None:
+        mask &= rel_sq <= condition.radius**2
+
+    pressure_bias = (condition.pressure - 0.5) * 0.5
+
+    if condition.motion_px <= 0.0:
+        # Masked fast path.  Every pixel outside the contact mask ends up
+        # at exactly 0.5 (the final masking step), and without motion blur
+        # every post-sampling operation is elementwise, so only the masked
+        # pixels need sampling and processing at all.  map_coordinates
+        # interpolates each coordinate independently, so the gathered
+        # values are bit-identical to a full-frame render; the two rng
+        # fields are still drawn at full frame shape to keep the stream
+        # identical to the reference path.
+        vals = ndimage.map_coordinates(
+            master.image, [src_r[mask], src_c[mask]], order=1,
+            mode="constant", cval=0.5)
+        shifted = vals - 0.5
+        shifted *= pressure_bias
+        shifted *= 2.0
+        shifted += vals
+        vals = np.clip(shifted, 0.0, 1.0, out=shifted)
+        if condition.noise > 0.0:
+            noise = rng.normal(0.0, condition.noise, size=(rows, cols))
+            vals += noise[mask]
+        if condition.dropout > 0.0:
+            lost = rng.random((rows, cols)) < condition.dropout
+            np.copyto(vals, 0.5, where=lost[mask])
+        np.clip(vals, 0.0, 1.0, out=vals)
+        image = np.full((rows, cols), 0.5)
+        image[mask] = vals
+        return Impression(finger_id=master.finger_id, image=image, mask=mask,
+                          condition=condition)
 
     image = ndimage.map_coordinates(master.image, [src_r, src_c], order=1,
                                     mode="constant", cval=0.5)
 
-    # Contact mask: circular patch (partial print) or everything that landed
-    # inside the master area (full print).
-    inside_master = (
-        (src_r >= 0) & (src_r <= master.shape[0] - 1)
-        & (src_c >= 0) & (src_c <= master.shape[1] - 1)
-    )
-    if condition.radius is not None:
-        contact = rel_r**2 + rel_c**2 <= condition.radius**2
-    else:
-        contact = np.ones((rows, cols), dtype=bool)
-    mask = inside_master & contact
-
     # Pressure: shift the ridge/valley duty cycle.  Hard presses flatten
     # ridges outward (thicker), light touches record only ridge crests.
-    pressure_bias = (condition.pressure - 0.5) * 0.5
-    image = np.clip(image + pressure_bias * (image - 0.5) * 2.0, 0.0, 1.0)
+    shifted = image - 0.5
+    shifted *= pressure_bias
+    shifted *= 2.0
+    shifted += image
+    image = np.clip(shifted, 0.0, 1.0, out=shifted)
 
-    if condition.motion_px > 0.0:
-        # Anisotropic blur along a random motion direction.
-        angle = rng.uniform(0.0, np.pi)
-        length = max(int(round(condition.motion_px)), 1)
-        kernel = np.zeros((2 * length + 1, 2 * length + 1))
-        for step in np.linspace(-length, length, 2 * length + 1):
-            kr = int(round(length + step * np.sin(angle)))
-            kc = int(round(length + step * np.cos(angle)))
-            kernel[kr, kc] = 1.0
-        kernel /= kernel.sum()
-        image = ndimage.convolve(image, kernel, mode="nearest")
+    # Anisotropic blur along a random motion direction.
+    angle = rng.uniform(0.0, np.pi)
+    length = max(int(round(condition.motion_px)), 1)
+    kernel = np.zeros((2 * length + 1, 2 * length + 1))
+    for step in np.linspace(-length, length, 2 * length + 1):
+        kr = int(round(length + step * np.sin(angle)))
+        kc = int(round(length + step * np.cos(angle)))
+        kernel[kr, kc] = 1.0
+    kernel /= kernel.sum()
+    image = ndimage.convolve(image, kernel, mode="nearest")
 
     if condition.noise > 0.0:
-        image = image + rng.normal(0.0, condition.noise, size=image.shape)
+        noise = rng.normal(0.0, condition.noise, size=image.shape)
+        noise += image
+        image = noise
 
     if condition.dropout > 0.0:
         lost = rng.random(image.shape) < condition.dropout
-        image = np.where(lost, 0.5, image)
+        np.copyto(image, 0.5, where=lost)
 
-    image = np.clip(image, 0.0, 1.0)
-    image = np.where(mask, image, 0.5)
+    np.clip(image, 0.0, 1.0, out=image)
+    np.copyto(image, 0.5, where=~mask)
     return Impression(finger_id=master.finger_id, image=image, mask=mask,
                       condition=condition)

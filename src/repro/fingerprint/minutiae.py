@@ -41,6 +41,14 @@ class Minutia:
         """The minutia as a [row, col, direction] float array."""
         return np.array([self.row, self.col, self.direction], dtype=np.float64)
 
+    def __copy__(self) -> "Minutia":
+        # Frozen ⇒ value-immutable: device cloning (the fleet factory
+        # deepcopies whole enrolled devices) may share minutiae freely.
+        return self
+
+    def __deepcopy__(self, memo) -> "Minutia":
+        return self
+
 
 def _crossing_number(skeleton: np.ndarray) -> np.ndarray:
     """Crossing number at each skeleton pixel (0 elsewhere)."""

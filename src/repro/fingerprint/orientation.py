@@ -27,6 +27,42 @@ __all__ = [
 ]
 
 
+def _gradient_pair(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``np.gradient(image)`` for the 2-D unit-spacing case.
+
+    Central differences in the interior, one-sided at the edges — the exact
+    arithmetic :func:`np.gradient` performs, minus its per-call axis/spacing
+    bookkeeping, so the outputs are bit-identical and the hot quality path
+    (one call per rendered touch) avoids the generic machinery.
+    """
+    gy = np.empty_like(image)
+    gx = np.empty_like(image)
+    gy[1:-1] = (image[2:] - image[:-2]) / 2.0
+    gy[0] = image[1] - image[0]
+    gy[-1] = image[-1] - image[-2]
+    gx[:, 1:-1] = (image[:, 2:] - image[:, :-2]) / 2.0
+    gx[:, 0] = image[:, 1] - image[:, 0]
+    gx[:, -1] = image[:, -1] - image[:, -2]
+    return gy, gx
+
+
+def _uniform_filter(array: np.ndarray, block: int,
+                    output: np.ndarray | None = None) -> np.ndarray:
+    """``ndimage.uniform_filter`` for the 2-D default-mode case.
+
+    scipy's wrapper runs ``uniform_filter1d`` over axis 0 then axis 1
+    (in place after the first axis), so calling the 1-D kernel directly
+    — optionally writing into ``output``, which may alias ``array`` —
+    produces bit-identical values while skipping the wrapper's per-call
+    argument normalization and an intermediate allocation.
+    """
+    if output is None:
+        output = np.empty_like(array)
+    ndimage.uniform_filter1d(array, block, axis=0, output=output)
+    ndimage.uniform_filter1d(output, block, axis=1, output=output)
+    return output
+
+
 def estimate_orientation(image: np.ndarray, block: int = 12,
                          smooth_sigma: float = 2.0) -> np.ndarray:
     """Gradient-based least-squares orientation estimation (per pixel).
@@ -37,7 +73,7 @@ def estimate_orientation(image: np.ndarray, block: int = 12,
     gradient products.
     """
     image = np.asarray(image, dtype=np.float64)
-    gy, gx = np.gradient(image)
+    gy, gx = _gradient_pair(image)
     gxx = ndimage.uniform_filter(gx * gx, size=block)
     gyy = ndimage.uniform_filter(gy * gy, size=block)
     gxy = ndimage.uniform_filter(gx * gy, size=block)
@@ -57,15 +93,30 @@ def orientation_coherence(image: np.ndarray, block: int = 12) -> np.ndarray:
     quality gate of the Fig. 6 pipeline.
     """
     image = np.asarray(image, dtype=np.float64)
-    gy, gx = np.gradient(image)
-    gxx = ndimage.uniform_filter(gx * gx, size=block)
-    gyy = ndimage.uniform_filter(gy * gy, size=block)
-    gxy = ndimage.uniform_filter(gx * gy, size=block)
-    numerator = np.sqrt((gxx - gyy) ** 2 + 4.0 * gxy**2)
+    gy, gx = _gradient_pair(image)
+    # The gradient buffers die after the three products, so two products
+    # square in place; this path runs once per rendered touch.
+    gxy = _uniform_filter(gx * gy, block)
+    gx *= gx
+    gxx = _uniform_filter(gx, block, output=gx)
+    gy *= gy
+    gyy = _uniform_filter(gy, block, output=gy)
+    # In-place evaluation of sqrt((gxx-gyy)^2 + 4*gxy^2) / (gxx+gyy):
+    # each rewrite below preserves the reference op order (or commutes a
+    # product) so every float is bit-identical to the original expression.
+    numerator = gxx - gyy
+    numerator *= numerator
+    gxy *= gxy
+    gxy *= 4.0
+    numerator += gxy
+    np.sqrt(numerator, out=numerator)
     denominator = gxx + gyy
+    positive = denominator > 1e-12
     with np.errstate(invalid="ignore", divide="ignore"):
-        coherence = np.where(denominator > 1e-12, numerator / denominator, 0.0)
-    return np.clip(coherence, 0.0, 1.0)
+        numerator /= denominator
+    np.logical_not(positive, out=positive)
+    np.copyto(numerator, 0.0, where=positive)
+    return np.clip(numerator, 0.0, 1.0, out=numerator)
 
 
 @dataclass(frozen=True)

@@ -68,11 +68,29 @@ def assess_quality(impression: Impression, block: int = 12) -> QualityReport:
     if not mask.any():
         return QualityReport(0.0, 0.0, 0.0, 0.0, 0.0)
 
-    coherence_map = orientation_coherence(impression.image, block=block)
-    coherence = float(coherence_map[mask].mean())
+    # Coherence and contrast are only ever read *under the mask*, and both
+    # maps are local: a pixel's value depends on its (block-sized) filter
+    # window plus one gradient step.  Cropping to the mask bounding box
+    # with a margin beyond that reach leaves every masked pixel's value
+    # bit-identical to the full-frame computation (interior crop edges
+    # stay farther from the mask than any filter window; clamped edges
+    # coincide with the true frame edge, so boundary handling matches),
+    # while partial touches skip the empty part of the frame.
+    pad = block // 2 + 2
+    rows_any = mask.any(axis=1)
+    cols_any = mask.any(axis=0)
+    r0 = max(int(np.argmax(rows_any)) - pad, 0)
+    r1 = min(mask.shape[0] - int(np.argmax(rows_any[::-1])) + pad, mask.shape[0])
+    c0 = max(int(np.argmax(cols_any)) - pad, 0)
+    c1 = min(mask.shape[1] - int(np.argmax(cols_any[::-1])) + pad, mask.shape[1])
+    image = impression.image[r0:r1, c0:c1]
+    sub_mask = mask[r0:r1, c0:c1]
 
-    contrast_map = local_contrast(impression.image, block=block)
-    contrast = float(np.clip(contrast_map[mask].mean() / _CONTRAST_SATURATION, 0.0, 1.0))
+    coherence_map = orientation_coherence(image, block=block)
+    coherence = float(coherence_map[sub_mask].mean())
+
+    contrast_map = local_contrast(image, block=block)
+    contrast = float(np.clip(contrast_map[sub_mask].mean() / _CONTRAST_SATURATION, 0.0, 1.0))
 
     area = float(np.clip(mask.sum() / _AREA_SATURATION, 0.0, 1.0))
 

@@ -61,13 +61,17 @@ class FrameAuditor:
 
     def __init__(self, server: WebServer, max_scroll_px: int = 256,
                  max_dynamic_requests: int = 64,
-                 algorithm: str = "sha256") -> None:
+                 algorithm: str = "sha256", backend=None) -> None:
         if max_scroll_px < 0:
             raise ValueError("max scroll must be non-negative")
         self.server = server
         self.max_scroll_px = int(max_scroll_px)
         self.max_dynamic_requests = int(max_dynamic_requests)
-        self.engine = FrameHashEngine(algorithm)
+        # Audit hashing defaults to the audited server's own engine, so
+        # whitelist hashes and logged hashes come from the same backend.
+        self.engine = FrameHashEngine(
+            algorithm,
+            backend=backend if backend is not None else server.backend)
         self._whitelist: set[bytes] | None = None
 
     def _pages(self) -> list[bytes]:

@@ -76,11 +76,29 @@ def _encode_value(value) -> str:
 
 def canonical_payload(fields: dict) -> bytes:
     """Canonical byte encoding of a field dict (the MAC/signature input)."""
+    # Hot path: every MAC/signature/verification encodes its envelope, so
+    # the common field types are dispatched on exact type inline; anything
+    # else (including subclasses) falls through to _encode_value, which
+    # keeps the authoritative isinstance semantics and error message.
     lines = []
+    append = lines.append
     for field_name in sorted(fields):
         if field_name == "mac":
             continue  # the MAC never covers itself
-        lines.append(f"{field_name}={_encode_value(fields[field_name])}")
+        value = fields[field_name]
+        cls = type(value)
+        if cls is bytes:
+            append(field_name + "=b:" + value.hex())
+        elif cls is bool:
+            append(field_name + "=B:" + ("1" if value else "0"))
+        elif cls is int:
+            append(field_name + "=i:" + str(value))
+        elif cls is float:
+            append(field_name + "=f:" + repr(value))
+        elif cls is str:
+            append(field_name + "=s:" + value)
+        else:
+            append(field_name + "=" + _encode_value(value))
     return "\n".join(lines).encode("utf-8")
 
 

@@ -385,6 +385,34 @@ class TestSuppressionAudit:
                     f"SC suppression without a reason: {rel}:{line}")
         assert audited > 0  # the boundary is real: rsa.py carries them
 
+    def test_accelerated_backend_interior_is_in_the_boundary(self):
+        """The registry's hot path (CRT cache, Montgomery ladder) is part
+        of the audited modpow boundary and actually carries reason-coded
+        suppressions — the accelerated backend gets no free pass."""
+        config = AnalysisConfig.default()
+        for qualname in ("repro.crypto.backend._crt_params",
+                         "repro.crypto.backend._crt_private_op",
+                         "repro.crypto.backend._ladder_pow",
+                         "repro.crypto.backend.AcceleratedBackend.rsa_decrypt"):
+            assert qualname in config.sc_modpow_boundary, qualname
+        spans = self._boundary_spans(config)
+        assert "repro.crypto.backend" in spans
+        path = REPO_ROOT / "src" / "repro" / "crypto" / "backend.py"
+        text = path.read_text()
+        rel = path.relative_to(REPO_ROOT / "src")
+        ctx = ModuleContext.build(path, str(rel), "repro.crypto.backend",
+                                  text)
+        sc_lines = [line for line, rules in ctx.line_suppressions.items()
+                    if any(r.startswith("SC") for r in (rules or ()))]
+        assert sc_lines, "backend.py carries no SC suppressions to audit"
+        for line in sc_lines:
+            assert any(lo <= line <= hi
+                       for span in spans["repro.crypto.backend"].values()
+                       if span for lo, hi in [span]), (
+                f"backend.py:{line} suppression outside the boundary")
+            assert ctx.suppression_reasons.get(line), (
+                f"backend.py:{line} suppression without a reason")
+
 
 @pytest.fixture(scope="module")
 def witness_results():

@@ -119,46 +119,62 @@ class TestMd5Vectors:
 
 
 class TestAcceleratedBackends:
-    """The hashlib fast path and the pure-Python reference must agree."""
+    """The accelerated registry backend and the reference must agree.
+
+    The old ``sha256.set_accelerated`` module toggle is retired: engine
+    selection now goes through the :mod:`repro.crypto.backend` registry,
+    and the pure-Python primitives above are always the reference path.
+    """
+
+    SIZES = (0, 1, 55, 56, 64, 65, 1000)
 
     @pytest.fixture()
-    def pure_python(self):
-        from repro.crypto.sha256 import accelerated_enabled, set_accelerated
-        before = accelerated_enabled()
-        set_accelerated(False)
-        yield
-        set_accelerated(before)
+    def backends(self):
+        from repro.crypto import get_backend
+        return get_backend("reference"), get_backend("accelerated")
 
-    def test_toggle_returns_previous_setting(self):
-        from repro.crypto.sha256 import accelerated_enabled, set_accelerated
-        before = accelerated_enabled()
+    def test_registry_lists_both_engines(self):
+        from repro.crypto import available_backends
+        names = available_backends()
+        assert "reference" in names
+        assert "accelerated" in names
+
+    def test_unknown_backend_is_a_loud_error(self):
+        from repro.crypto import get_backend
+        with pytest.raises(ValueError, match="unknown crypto backend"):
+            get_backend("no-such-engine")
+
+    def test_set_default_returns_previous_name(self):
+        from repro.crypto import default_backend, set_default_backend
+        before = default_backend().name
         try:
-            set_accelerated(True)
-            assert set_accelerated(False) is True
-            assert accelerated_enabled() is False
-            assert set_accelerated(True) is False
-            assert accelerated_enabled() is True
+            assert set_default_backend("reference") == before
+            assert default_backend().name == "reference"
+            assert set_default_backend("accelerated") == "reference"
         finally:
-            set_accelerated(before)
+            set_default_backend(before)
 
-    def test_sha256_backends_agree(self, pure_python):
-        for size in (0, 1, 55, 56, 64, 65, 1000):
-            data = bytes(range(256)) * (size // 256 + 1)
-            data = data[:size]
-            assert sha256_hex(data) == hashlib.sha256(data).hexdigest()
-            assert SHA256(data).digest() == hashlib.sha256(data).digest()
+    def test_sha256_backends_agree(self, backends):
+        reference, accelerated = backends
+        for size in self.SIZES:
+            data = (bytes(range(256)) * (size // 256 + 1))[:size]
+            expected = hashlib.sha256(data).digest()
+            assert reference.sha256(data) == expected
+            assert accelerated.sha256(data) == expected
+            assert reference.sha256_hex(data) == expected.hex()
+            assert accelerated.sha256_hex(data) == expected.hex()
 
-    def test_md5_backends_agree(self, pure_python):
-        for size in (0, 1, 55, 56, 64, 65, 1000):
-            data = bytes(range(256)) * (size // 256 + 1)
-            data = data[:size]
-            assert md5_hex(data) == hashlib.md5(data).hexdigest()
+    def test_md5_backends_agree(self, backends):
+        reference, accelerated = backends
+        for size in self.SIZES:
+            data = (bytes(range(256)) * (size // 256 + 1))[:size]
+            expected = hashlib.md5(data).hexdigest()
+            assert reference.md5_hex(data) == expected
+            assert accelerated.md5_hex(data) == expected
 
-    def test_incremental_across_backends(self, pure_python):
-        """A pure-Python digest equals an accelerated one byte-for-byte."""
-        from repro.crypto.sha256 import set_accelerated
-        pure = SHA256(b"split ").copy()
+    def test_incremental_across_backends(self, backends):
+        """A reference streaming digest equals an accelerated one-shot."""
+        reference, accelerated = backends
+        pure = reference.new_sha256(b"split ")
         pure.update(b"update")
-        set_accelerated(True)
-        fast = SHA256(b"split update")
-        assert pure.digest() == fast.digest()
+        assert pure.digest() == accelerated.sha256(b"split update")
